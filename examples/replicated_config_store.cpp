@@ -1,0 +1,95 @@
+// Replicated configuration store on the real-thread runtime.
+//
+// One operator node (the writer) pushes configuration revisions; worker
+// nodes poll their local register replica concurrently. Mid-run we crash a
+// minority of nodes and show that (a) every surviving worker keeps reading,
+// and (b) reads never go backwards (atomicity: no new/old inversion), which
+// is verified with the linearizability checker at the end.
+//
+//   build/examples/replicated_config_store
+#include <atomic>
+#include <iostream>
+#include <thread>
+
+#include "checker/swmr_checker.hpp"
+#include "runtime/thread_network.hpp"
+
+int main() {
+  using namespace tbr;
+
+  ThreadNetwork::Options options;
+  options.cfg.n = 5;
+  options.cfg.t = 2;
+  options.cfg.writer = 0;
+  options.cfg.initial = Value::from_string("rev-0");
+  options.algo = Algorithm::kTwoBit;
+  options.max_delay_us = 300;  // jittery network: deliveries reorder
+  ThreadNetwork net(options);
+  net.start();
+
+  HistoryLog history;
+  std::atomic<bool> done{false};
+
+  // The operator: pushes 20 config revisions.
+  std::jthread operator_thread([&] {
+    for (int rev = 1; rev <= 20; ++rev) {
+      const std::string config = "rev-" + std::to_string(rev);
+      const auto id = history.begin_write(0, net.now(), rev,
+                                          Value::from_string(config));
+      net.write(Value::from_string(config)).get();
+      history.end_write(id, net.now());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+  });
+
+  // Workers 1-3 poll concurrently. Worker 4 will be crashed.
+  std::vector<std::jthread> workers;
+  std::vector<std::atomic<int>> reads_seen(5);
+  for (ProcessId pid = 1; pid <= 3; ++pid) {
+    workers.emplace_back([&, pid] {
+      SeqNo last_seen = 0;
+      while (!done.load()) {
+        const auto id = history.begin_read(pid, net.now());
+        try {
+          const auto out = net.read(pid).get();
+          history.end_read(id, net.now(), out.value, out.index);
+          if (out.index < last_seen) {
+            std::cerr << "BUG: worker " << pid << " saw config go backwards!\n";
+          }
+          last_seen = out.index;
+          reads_seen[pid].fetch_add(1);
+        } catch (const std::runtime_error&) {
+          break;
+        }
+      }
+    });
+  }
+
+  // Chaos: crash node 4 early, then a reading worker would too be fair game
+  // (we keep 1-3 alive so the demo output is stable).
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  net.crash(4);
+  std::cout << "crashed node 4 mid-run; t=2 budget allows one more...\n";
+
+  operator_thread.join();
+  workers.clear();
+
+  for (ProcessId pid = 1; pid <= 3; ++pid) {
+    const auto out = net.read(pid).get();
+    std::cout << "worker " << pid << " final config: " << out.value.to_string()
+              << " (" << reads_seen[pid].load() << " polls)\n";
+  }
+
+  const auto verdict =
+      SwmrChecker::check(history.ops(), Value::from_string("rev-0"));
+  std::cout << "atomicity check over " << history.size()
+            << " recorded operations: " << (verdict.ok ? "OK" : verdict.error)
+            << "\n";
+  const auto stats = net.stats_snapshot();
+  std::cout << "total frames: " << stats.total_sent()
+            << ", max control bits/frame: "
+            << stats.max_control_bits_per_msg() << "\n";
+  net.stop();
+  return verdict.ok ? 0 : 1;
+}

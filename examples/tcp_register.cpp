@@ -1,0 +1,48 @@
+// The two-bit register over real TCP sockets.
+//
+// Five processes in this OS process, fully meshed over loopback TCP, each
+// with its own poll(2) event loop — the actual two-bit wire format in
+// length-prefixed frames on actual sockets. Client calls are futures.
+//
+//   build/examples/tcp_register
+#include <iostream>
+
+#include "transport/socket_network.hpp"
+
+int main() {
+  using namespace tbr;
+
+  SocketNetwork::Options options;
+  options.cfg.n = 5;
+  options.cfg.t = 2;
+  options.cfg.writer = 0;
+  options.cfg.initial = Value::from_string("initial");
+  options.algo = Algorithm::kTwoBit;
+  SocketNetwork net(std::move(options));
+  net.start();
+
+  // A write and reads from every replica, over the wire.
+  const Tick write_ns = net.write(Value::from_string("over TCP")).get();
+  std::cout << "write completed in " << write_ns / 1000 << " us\n";
+  for (ProcessId pid = 1; pid < 5; ++pid) {
+    const auto out = net.read(pid).get();
+    std::cout << "p" << pid << " read \"" << out.value.to_string()
+              << "\" in " << out.latency / 1000 << " us\n";
+  }
+
+  // Crash a minority mid-flight; the group keeps serving.
+  net.crash(4);
+  net.write(Value::from_string("two crashes later")).get();
+  net.crash(3);
+  std::cout << "after crashes, p1 reads \""
+            << net.read(1).get().value.to_string() << "\"\n";
+
+  const auto stats = net.stats_snapshot();
+  std::cout << "frames sent: " << stats.total_sent()
+            << ", max control bits per frame: "
+            << stats.max_control_bits_per_msg()
+            << "\n(2 bits of protocol control per frame, on a real "
+               "transport)\n";
+  net.stop();
+  return 0;
+}

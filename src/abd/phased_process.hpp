@@ -1,0 +1,84 @@
+// PhasedProcess: quorum-phase engine executing any PhasedSpec.
+//
+// Replica side is stateless per operation: every phase request is answered
+// immediately (adopt-if-newer for disseminate; state reply for query), so
+// stale or reordered phase traffic is harmless. The initiator side drives
+// phases strictly in sequence, identifying responses by an (operation, phase)
+// tag; each phase completes on a quorum of n-t participants (self included).
+//
+// With abd_unbounded_spec() this *is* the ABD'95 SWMR algorithm: writes are
+// one disseminate phase, reads are query + write-back.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "abd/phased_codec.hpp"
+#include "abd/specs.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+class PhasedProcess final : public RegisterProcessBase {
+ public:
+  PhasedProcess(GroupConfig cfg, ProcessId self, const PhasedSpec& spec);
+
+  // ---- RegisterProcessBase -----------------------------------------------
+  void start_write(NetworkContext& net, Value v, WriteDone done) override;
+  void start_read(NetworkContext& net, ReadDone done) override;
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+  std::uint64_t local_memory_bytes() const override;
+  const Codec& codec() const override { return codec_; }
+
+  // ---- introspection -------------------------------------------------------
+  const PhasedSpec& spec() const noexcept { return spec_; }
+  SeqNo replica_seq() const noexcept { return cur_seq_; }
+  const Value& replica_value() const noexcept { return cur_val_; }
+  bool crashed() const noexcept { return crashed_; }
+
+ private:
+  struct PendingOp {
+    bool is_write = false;
+    const std::vector<PhaseKind>* phases = nullptr;
+    std::size_t phase_idx = 0;
+    SeqNo op_tag = 0;        // response-matching tag
+    std::uint32_t votes = 0; // quorum progress, self included
+    SeqNo op_seq = 0;        // write: its wsn; read: best seq folded so far
+    Value op_val;            // value being disseminated / best value folded
+    WriteDone wdone;
+    ReadDone rdone;
+  };
+
+  void start_phase(NetworkContext& net);
+  void advance_if_quorum(NetworkContext& net);
+  void adopt(SeqNo seq, const Value& v);
+  SeqNo phase_tag() const;
+
+  PhasedSpec spec_;
+  PhasedCodec codec_;
+
+  // Replica state: the freshest (seq, value) pair seen.
+  SeqNo cur_seq_ = 0;
+  Value cur_val_;
+
+  // Initiator state.
+  SeqNo wsn_ = 0;       // writer's local write counter
+  SeqNo op_counter_ = 0;
+  std::optional<PendingOp> pending_;
+  bool crashed_ = false;
+};
+
+/// Factories for the three baselines (and the engine itself, for tests).
+std::unique_ptr<RegisterProcessBase> make_abd_unbounded_process(
+    GroupConfig cfg, ProcessId self);
+std::unique_ptr<RegisterProcessBase> make_abd_bounded_process(GroupConfig cfg,
+                                                              ProcessId self);
+std::unique_ptr<RegisterProcessBase> make_attiya_process(GroupConfig cfg,
+                                                         ProcessId self);
+/// The regular-register ablation (see abd_regular_spec()).
+std::unique_ptr<RegisterProcessBase> make_abd_regular_process(GroupConfig cfg,
+                                                              ProcessId self);
+
+}  // namespace tbr

@@ -1,0 +1,79 @@
+#include "abd/specs.hpp"
+
+#include "common/bits.hpp"
+
+namespace tbr {
+
+std::uint64_t PhasedSpec::label_bits(std::uint32_t n) const {
+  if (label_exponent == 0) return 0;
+  return pow_saturating(n, label_exponent);
+}
+
+std::uint64_t PhasedSpec::modeled_memory_bits(std::uint32_t n) const {
+  if (memory_exponent == 0) return 0;
+  return pow_saturating(n, memory_exponent);
+}
+
+namespace {
+
+std::vector<PhaseKind> phases(PhaseKind first, std::size_t total) {
+  std::vector<PhaseKind> out;
+  out.reserve(total);
+  out.push_back(first);
+  // Every non-initial phase re-disseminates the operation's (seq, value):
+  // semantically idempotent, structurally a full broadcast/ack round trip.
+  while (out.size() < total) out.push_back(PhaseKind::kDisseminate);
+  return out;
+}
+
+}  // namespace
+
+const PhasedSpec& abd_unbounded_spec() {
+  static const PhasedSpec spec{
+      "abd-unbounded",
+      phases(PhaseKind::kDisseminate, 1),  // write: disseminate
+      phases(PhaseKind::kQuery, 2),        // read: query + write-back
+      /*echo=*/false,
+      /*label_exponent=*/0,
+      /*memory_exponent=*/0,
+  };
+  return spec;
+}
+
+const PhasedSpec& abd_bounded_spec() {
+  static const PhasedSpec spec{
+      "abd-bounded",
+      phases(PhaseKind::kDisseminate, 6),  // 12Δ writes
+      phases(PhaseKind::kQuery, 6),        // 12Δ reads
+      /*echo=*/true,                       // O(n^2) messages per operation
+      /*label_exponent=*/5,                // O(n^5)-bit messages
+      /*memory_exponent=*/6,               // O(n^6)-bit label store
+  };
+  return spec;
+}
+
+const PhasedSpec& attiya_spec() {
+  static const PhasedSpec spec{
+      "attiya",
+      phases(PhaseKind::kDisseminate, 7),  // 14Δ writes
+      phases(PhaseKind::kQuery, 9),        // 18Δ reads
+      /*echo=*/false,                      // O(n) messages per operation
+      /*label_exponent=*/3,                // O(n^3)-bit messages
+      /*memory_exponent=*/5,               // O(n^5)-bit label store
+  };
+  return spec;
+}
+
+const PhasedSpec& abd_regular_spec() {
+  static const PhasedSpec spec{
+      "abd-regular",
+      phases(PhaseKind::kDisseminate, 1),  // 2Δ writes
+      phases(PhaseKind::kQuery, 1),        // 2Δ reads: query, NO write-back
+      /*echo=*/false,
+      /*label_exponent=*/0,
+      /*memory_exponent=*/0,
+  };
+  return spec;
+}
+
+}  // namespace tbr

@@ -1,0 +1,101 @@
+#include "checker/history.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+Stamp HistoryLog::make_stamp(Tick tick) {
+  return Stamp{tick, next_order_++};
+}
+
+HistoryLog::OpId HistoryLog::begin_write(ProcessId proc, Tick tick,
+                                         SeqNo index, Value v) {
+  TBR_ENSURE(index >= 1, "write indices are 1-based");
+  const std::scoped_lock lock(mu_);
+  OpRecord rec;
+  rec.kind = OpRecord::Kind::kWrite;
+  rec.proc = proc;
+  rec.start = make_stamp(tick);
+  rec.index = index;
+  rec.value = std::move(v);
+  ops_.push_back(std::move(rec));
+  return ops_.size() - 1;
+}
+
+HistoryLog::OpId HistoryLog::begin_read(ProcessId proc, Tick tick) {
+  const std::scoped_lock lock(mu_);
+  OpRecord rec;
+  rec.kind = OpRecord::Kind::kRead;
+  rec.proc = proc;
+  rec.start = make_stamp(tick);
+  ops_.push_back(std::move(rec));
+  return ops_.size() - 1;
+}
+
+HistoryLog::OpId HistoryLog::begin_write_unindexed(ProcessId proc, Tick tick,
+                                                   Value v) {
+  const std::scoped_lock lock(mu_);
+  OpRecord rec;
+  rec.kind = OpRecord::Kind::kWrite;
+  rec.proc = proc;
+  rec.start = make_stamp(tick);
+  rec.value = std::move(v);
+  ops_.push_back(std::move(rec));
+  return ops_.size() - 1;
+}
+
+void HistoryLog::end_write_indexed(OpId id, Tick tick, SeqNo index) {
+  const std::scoped_lock lock(mu_);
+  TBR_ENSURE(id < ops_.size(), "bad op id");
+  OpRecord& rec = ops_[id];
+  TBR_ENSURE(rec.kind == OpRecord::Kind::kWrite, "end_write on a read");
+  TBR_ENSURE(!rec.completed, "op already completed");
+  TBR_ENSURE(index >= 1, "write timestamps are positive");
+  rec.end = make_stamp(tick);
+  rec.completed = true;
+  rec.index = index;
+}
+
+void HistoryLog::end_write(OpId id, Tick tick) {
+  const std::scoped_lock lock(mu_);
+  TBR_ENSURE(id < ops_.size(), "bad op id");
+  OpRecord& rec = ops_[id];
+  TBR_ENSURE(rec.kind == OpRecord::Kind::kWrite, "end_write on a read");
+  TBR_ENSURE(!rec.completed, "op already completed");
+  rec.end = make_stamp(tick);
+  rec.completed = true;
+}
+
+void HistoryLog::end_read(OpId id, Tick tick, Value v, SeqNo index) {
+  const std::scoped_lock lock(mu_);
+  TBR_ENSURE(id < ops_.size(), "bad op id");
+  OpRecord& rec = ops_[id];
+  TBR_ENSURE(rec.kind == OpRecord::Kind::kRead, "end_read on a write");
+  TBR_ENSURE(!rec.completed, "op already completed");
+  TBR_ENSURE(index >= 0, "read index must be non-negative");
+  rec.end = make_stamp(tick);
+  rec.completed = true;
+  rec.index = index;
+  rec.value = std::move(v);
+}
+
+std::vector<OpRecord> HistoryLog::ops() const {
+  const std::scoped_lock lock(mu_);
+  return ops_;
+}
+
+std::size_t HistoryLog::size() const {
+  const std::scoped_lock lock(mu_);
+  return ops_.size();
+}
+
+std::size_t HistoryLog::completed_count() const {
+  const std::scoped_lock lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const OpRecord& r) { return r.completed; }));
+}
+
+}  // namespace tbr

@@ -1,0 +1,77 @@
+// Operation history recording for atomicity checking.
+//
+// Every operation is an interval [start, end] stamped with (tick, order):
+// `tick` is virtual/real time, `order` a global monotone counter assigned at
+// record time. Ticks can tie (simulator events at the same instant; clock
+// granularity in the threaded runtime); `order` breaks ties consistently
+// with causality, so "op A ended before op B started" is exact.
+//
+// Thread-safe: the threaded runtime records from many client threads.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+
+namespace tbr {
+
+struct Stamp {
+  Tick tick = 0;
+  std::uint64_t order = 0;
+
+  /// Lexicographic: physical/virtual time first, record order as the
+  /// causal tie-break. A clock inversion across threads (B's timestamp read
+  /// before A's although A recorded first) can only make intervals appear
+  /// to overlap more, which weakens — never falsifies — the check.
+  friend bool operator<(const Stamp& a, const Stamp& b) {
+    if (a.tick != b.tick) return a.tick < b.tick;
+    return a.order < b.order;
+  }
+};
+
+struct OpRecord {
+  enum class Kind { kWrite, kRead };
+  Kind kind = Kind::kRead;
+  ProcessId proc = kNoProcess;
+  Stamp start;
+  Stamp end;
+  bool completed = false;
+  /// Write: history index it creates (1-based). Read: index returned.
+  SeqNo index = -1;
+  /// Write: value written. Read: value returned.
+  Value value;
+};
+
+class HistoryLog {
+ public:
+  using OpId = std::size_t;
+
+  /// Record the invocation of the `index`-th write (value `v`).
+  OpId begin_write(ProcessId proc, Tick tick, SeqNo index, Value v);
+  /// Record the invocation of a read.
+  OpId begin_read(ProcessId proc, Tick tick);
+  void end_write(OpId id, Tick tick);
+  void end_read(OpId id, Tick tick, Value v, SeqNo index);
+
+  /// Multi-writer variants: the write's index (its timestamp) is only known
+  /// at completion; an unindexed write that never completes keeps index -1.
+  OpId begin_write_unindexed(ProcessId proc, Tick tick, Value v);
+  void end_write_indexed(OpId id, Tick tick, SeqNo index);
+
+  /// Immutable snapshot of all records (copy; safe after recording stops).
+  std::vector<OpRecord> ops() const;
+
+  std::size_t size() const;
+  std::size_t completed_count() const;
+
+ private:
+  Stamp make_stamp(Tick tick);
+
+  mutable std::mutex mu_;
+  std::vector<OpRecord> ops_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace tbr

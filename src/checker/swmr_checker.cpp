@@ -1,0 +1,198 @@
+#include "checker/swmr_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpRecord::Kind::kWrite ? "write" : "read") << "[p"
+     << op.proc << ", idx=" << op.index << ", start#" << op.start.order;
+  if (op.completed) {
+    os << ", end#" << op.end.order;
+  } else {
+    os << ", incomplete";
+  }
+  os << ']';
+  return os.str();
+}
+
+struct Tally {
+  CheckStats stats;
+
+  void hit(std::uint64_t CheckStats::*counter, std::string why) {
+    stats.*counter += 1;
+    if (stats.first_error.empty()) stats.first_error = std::move(why);
+  }
+};
+
+}  // namespace
+
+CheckStats SwmrChecker::analyze(const std::vector<OpRecord>& ops,
+                                const Value& initial) {
+  Tally tally;
+
+  // ---- partition & model sanity -------------------------------------------
+  std::vector<const OpRecord*> writes;
+  std::vector<const OpRecord*> reads;  // completed reads only
+  std::optional<ProcessId> writer;
+  for (const auto& op : ops) {
+    if (op.kind == OpRecord::Kind::kWrite) {
+      writes.push_back(&op);
+      if (!writer.has_value()) writer = op.proc;
+      if (*writer != op.proc) {
+        tally.hit(&CheckStats::model, "model: more than one writer process");
+        return tally.stats;
+      }
+    } else if (op.completed) {
+      reads.push_back(&op);
+    }
+  }
+  std::sort(writes.begin(), writes.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->index < b->index;
+            });
+  for (std::size_t k = 0; k < writes.size(); ++k) {
+    if (writes[k]->index != static_cast<SeqNo>(k + 1)) {
+      tally.hit(&CheckStats::model,
+                "model: write indices are not exactly 1..W");
+      return tally.stats;
+    }
+    if (k + 1 < writes.size()) {
+      if (!writes[k]->completed) {
+        tally.hit(&CheckStats::model,
+                  "model: only the writer's final write may be incomplete");
+        return tally.stats;
+      }
+      if (!(writes[k]->end < writes[k + 1]->start)) {
+        tally.hit(&CheckStats::model,
+                  "model: writer operations overlap: " +
+                      describe(*writes[k]) + " vs " +
+                      describe(*writes[k + 1]));
+        return tally.stats;
+      }
+    }
+  }
+
+  // Per-process sequentiality of all operations.
+  {
+    std::map<ProcessId, std::vector<const OpRecord*>> by_proc;
+    for (const auto& op : ops) by_proc[op.proc].push_back(&op);
+    for (auto& [proc, list] : by_proc) {
+      std::sort(list.begin(), list.end(),
+                [](const OpRecord* a, const OpRecord* b) {
+                  return a->start < b->start;
+                });
+      for (std::size_t k = 0; k + 1 < list.size(); ++k) {
+        if (!list[k]->completed || !(list[k]->end < list[k + 1]->start)) {
+          tally.hit(&CheckStats::model, "model: operations of process " +
+                                            std::to_string(proc) +
+                                            " overlap");
+          return tally.stats;
+        }
+      }
+    }
+  }
+
+  const auto w_count = static_cast<SeqNo>(writes.size());
+  tally.stats.reads_checked = reads.size();
+
+  // ---- C0: value consistency ----------------------------------------------
+  for (const auto* r : reads) {
+    if (r->index < 0 || r->index > w_count) {
+      tally.hit(&CheckStats::c0,
+                "C0: read index out of range: " + describe(*r));
+      continue;
+    }
+    const Value& expect =
+        r->index == 0
+            ? initial
+            : writes[static_cast<std::size_t>(r->index - 1)]->value;
+    if (!(r->value == expect)) {
+      tally.hit(&CheckStats::c0, "C0: read value does not match write " +
+                                     std::to_string(r->index) + ": " +
+                                     describe(*r));
+    }
+  }
+
+  // ---- C1: no read from the future -----------------------------------------
+  for (const auto* r : reads) {
+    if (r->index <= 0 || r->index > w_count) continue;
+    const auto* w = writes[static_cast<std::size_t>(r->index - 1)];
+    if (!(w->start < r->end)) {
+      tally.hit(&CheckStats::c1,
+                "C1: read returns a write invoked after it: " + describe(*r) +
+                    " vs " + describe(*w));
+    }
+  }
+
+  // ---- C2: no overwritten read ----------------------------------------------
+  // Completed writes end in index order (writer is sequential), so a binary
+  // search over their end stamps yields the freshest mandatory index.
+  std::vector<Stamp> write_end_stamps;  // for writes 1..K completed
+  for (const auto* w : writes) {
+    if (!w->completed) break;  // only the last write can be incomplete
+    write_end_stamps.push_back(w->end);
+  }
+  for (const auto* r : reads) {
+    const auto it = std::lower_bound(write_end_stamps.begin(),
+                                     write_end_stamps.end(), r->start);
+    const auto mandatory = static_cast<SeqNo>(it - write_end_stamps.begin());
+    if (r->index < mandatory) {
+      tally.hit(&CheckStats::c2,
+                "C2: stale read: returned " + std::to_string(r->index) +
+                    " but write " + std::to_string(mandatory) +
+                    " completed before the read began: " + describe(*r));
+    }
+  }
+
+  // ---- C3: no new/old inversion ----------------------------------------------
+  // For reads r1, r2 with r1.end < r2.start, require idx(r1) <= idx(r2).
+  // Sweep reads by start stamp; prefix-max of indices over reads sorted by
+  // end stamp answers "largest index among reads that ended before me".
+  std::vector<const OpRecord*> by_end = reads;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->end < b->end;
+            });
+  std::vector<Stamp> end_stamps;
+  std::vector<SeqNo> prefix_max;
+  end_stamps.reserve(by_end.size());
+  prefix_max.reserve(by_end.size());
+  for (const auto* r : by_end) {
+    end_stamps.push_back(r->end);
+    prefix_max.push_back(prefix_max.empty()
+                             ? r->index
+                             : std::max(prefix_max.back(), r->index));
+  }
+  for (const auto* r : reads) {
+    const auto it =
+        std::lower_bound(end_stamps.begin(), end_stamps.end(), r->start);
+    if (it == end_stamps.begin()) continue;
+    const auto k = static_cast<std::size_t>(it - end_stamps.begin()) - 1;
+    if (prefix_max[k] > r->index) {
+      tally.hit(&CheckStats::c3,
+                "C3: new/old inversion: an earlier read returned " +
+                    std::to_string(prefix_max[k]) + " but " + describe(*r) +
+                    " returned " + std::to_string(r->index));
+    }
+  }
+
+  return tally.stats;
+}
+
+CheckResult SwmrChecker::check(const std::vector<OpRecord>& ops,
+                               const Value& initial) {
+  const CheckStats stats = analyze(ops, initial);
+  if (stats.atomic()) return CheckResult::good();
+  return CheckResult::bad(stats.first_error);
+}
+
+}  // namespace tbr

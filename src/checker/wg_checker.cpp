@@ -1,0 +1,89 @@
+#include "checker/wg_checker.hpp"
+
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+
+struct Search {
+  const std::vector<OpRecord>& ops;
+  const Value& initial;
+  std::uint32_t all_completed_mask = 0;
+  std::unordered_set<std::uint64_t> failed;  // (mask, cur) states seen
+
+  explicit Search(const std::vector<OpRecord>& o, const Value& init)
+      : ops(o), initial(init) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].completed) {
+        all_completed_mask |= (1u << i);
+      }
+    }
+  }
+
+  static std::uint64_t key(std::uint32_t mask, SeqNo cur) {
+    return (static_cast<std::uint64_t>(mask) << 24) |
+           static_cast<std::uint64_t>(cur & 0xFFFFFF);
+  }
+
+  /// Can op `i` be the next linearization point given `mask` already chosen?
+  bool minimal(std::uint32_t mask, std::size_t i) const {
+    for (std::size_t p = 0; p < ops.size(); ++p) {
+      if (p == i || (mask & (1u << p)) != 0 || !ops[p].completed) continue;
+      if (ops[p].end < ops[i].start) return false;
+    }
+    return true;
+  }
+
+  bool dfs(std::uint32_t mask, SeqNo cur) {
+    if ((mask & all_completed_mask) == all_completed_mask) return true;
+    if (!failed.insert(key(mask, cur)).second) return false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((mask & (1u << i)) != 0) continue;
+      if (!minimal(mask, i)) continue;
+      const OpRecord& op = ops[i];
+      if (op.kind == OpRecord::Kind::kWrite) {
+        if (dfs(mask | (1u << i), op.index)) return true;
+      } else {
+        if (!op.completed) {
+          // An unfinished read constrains nothing; leaving it out is always
+          // at least as permissive as linearizing it.
+          continue;
+        }
+        if (op.index == cur && dfs(mask | (1u << i), cur)) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool wg_linearizable(const std::vector<OpRecord>& ops, const Value& initial) {
+  TBR_ENSURE(ops.size() <= 22,
+             "wg_linearizable is exponential; use it only on small histories");
+  // Value consistency first: a read's (index, value) pair must match the
+  // write with that index (or the initial value for index 0).
+  for (const auto& r : ops) {
+    if (r.kind != OpRecord::Kind::kRead || !r.completed) continue;
+    if (r.index == 0) {
+      if (!(r.value == initial)) return false;
+      continue;
+    }
+    bool found = false;
+    for (const auto& w : ops) {
+      if (w.kind == OpRecord::Kind::kWrite && w.index == r.index) {
+        if (!(w.value == r.value)) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  Search search(ops, initial);
+  return search.dfs(0, 0);
+}
+
+}  // namespace tbr

@@ -1,0 +1,34 @@
+#include "common/bits.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+std::uint32_t min_bits_unsigned(std::uint64_t v) {
+  if (v == 0) return 1;
+  return static_cast<std::uint32_t>(std::bit_width(v));
+}
+
+std::uint32_t min_bits_seqno(std::int64_t v) {
+  TBR_ENSURE(v >= 0, "sequence numbers are non-negative");
+  return min_bits_unsigned(static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t pow_saturating(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t out = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (base != 0 &&
+        out > std::numeric_limits<std::uint64_t>::max() / base) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    out *= base;
+  }
+  return out;
+}
+
+std::uint64_t bits_to_bytes(std::uint64_t bits) { return (bits + 7) / 8; }
+
+}  // namespace tbr

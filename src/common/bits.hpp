@@ -1,0 +1,25 @@
+// Bit-size arithmetic used by the wire-accounting layer.
+//
+// Table 1 of the paper compares algorithms by the number of *control bits*
+// messages carry. These helpers compute minimal binary encodings so the
+// "unbounded sequence number" rows can be measured as they grow.
+#pragma once
+
+#include <cstdint>
+
+namespace tbr {
+
+/// Number of bits in the minimal binary encoding of `v` (>= 1; bit_width(0)=1).
+std::uint32_t min_bits_unsigned(std::uint64_t v);
+
+/// Minimal bits for a non-negative signed value (contract: v >= 0).
+std::uint32_t min_bits_seqno(std::int64_t v);
+
+/// ceil(n^k) as a 64-bit value with saturation (used for the modeled
+/// O(n^3)/O(n^5) label sizes of the bounded baselines).
+std::uint64_t pow_saturating(std::uint64_t base, std::uint32_t exp);
+
+/// Bits -> bytes, rounding up.
+std::uint64_t bits_to_bytes(std::uint64_t bits);
+
+}  // namespace tbr

@@ -1,0 +1,51 @@
+// Lightweight executable contracts (precondition / invariant checks).
+//
+// Following the Core Guidelines (I.6/I.8, E.12): violations indicate a bug in
+// this library or a misuse of its API, so they throw a dedicated logic-error
+// type that tests can assert on. Checks are always on: the algorithms here
+// are control-plane protocols, not hot inner loops, and the paper's lemmas
+// double as runtime invariants we never want silently broken.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tbr {
+
+/// Thrown when an executable contract (TBR_ENSURE / TBR_INVARIANT) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& note) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!note.empty()) os << " — " << note;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace tbr
+
+/// Precondition / postcondition check with an explanatory note.
+#define TBR_ENSURE(cond, note)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tbr::detail::contract_fail("contract", #cond, __FILE__, __LINE__,    \
+                                   (note));                                  \
+    }                                                                        \
+  } while (false)
+
+/// Algorithm invariant check (used for the paper's lemma-level invariants).
+#define TBR_INVARIANT(cond, note)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tbr::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,   \
+                                   (note));                                  \
+    }                                                                        \
+  } while (false)

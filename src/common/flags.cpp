@@ -1,0 +1,180 @@
+#include "common/flags.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+FlagParser::FlagParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void FlagParser::add_string(const std::string& name, std::string default_value,
+                            std::string doc) {
+  TBR_ENSURE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_[name] = Flag{Kind::kString, default_value, std::move(default_value),
+                      std::move(doc)};
+  declared_order_.push_back(name);
+}
+
+void FlagParser::add_int(const std::string& name, std::int64_t default_value,
+                         std::string doc) {
+  TBR_ENSURE(!flags_.contains(name), "duplicate flag: " + name);
+  const auto text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, text, text, std::move(doc)};
+  declared_order_.push_back(name);
+}
+
+void FlagParser::add_bool(const std::string& name, bool default_value,
+                          std::string doc) {
+  TBR_ENSURE(!flags_.contains(name), "duplicate flag: " + name);
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, std::move(doc)};
+  declared_order_.push_back(name);
+}
+
+void FlagParser::add_double(const std::string& name, double default_value,
+                            std::string doc) {
+  TBR_ENSURE(!flags_.contains(name), "duplicate flag: " + name);
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::kDouble, os.str(), os.str(), std::move(doc)};
+  declared_order_.push_back(name);
+}
+
+bool FlagParser::assign(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    error_ = "unknown flag: --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kString:
+      break;
+    case Kind::kBool:
+      if (value != "true" && value != "false") {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Kind::kInt: {
+      std::int64_t out = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), out);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Kind::kDouble: {
+      try {
+        std::size_t pos = 0;
+        (void)std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+  }
+  flag.value = value;
+  return true;
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool FlagParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!assign(body.substr(0, eq), body.substr(eq + 1))) return false;
+      continue;
+    }
+    // "--flag value" or boolean "--flag".
+    const auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + body;
+      return false;
+    }
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "flag --" + body + " needs a value";
+      return false;
+    }
+    if (!assign(body, args[++i])) return false;
+  }
+  return true;
+}
+
+const FlagParser::Flag& FlagParser::flag_or_die(const std::string& name,
+                                                Kind kind) const {
+  const auto it = flags_.find(name);
+  TBR_ENSURE(it != flags_.end(), "flag not declared: " + name);
+  TBR_ENSURE(it->second.kind == kind, "flag type mismatch: " + name);
+  return it->second;
+}
+
+std::string FlagParser::get_string(const std::string& name) const {
+  return flag_or_die(name, Kind::kString).value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return std::stoll(flag_or_die(name, Kind::kInt).value);
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return flag_or_die(name, Kind::kBool).value == "true";
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  return std::stod(flag_or_die(name, Kind::kDouble).value);
+}
+
+std::string FlagParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\nflags:\n";
+  for (const auto& name : declared_order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kString:
+        os << "=<string>";
+        break;
+      case Kind::kInt:
+        os << "=<int>";
+        break;
+      case Kind::kBool:
+        os << "[=true|false]";
+        break;
+      case Kind::kDouble:
+        os << "=<number>";
+        break;
+    }
+    os << "  (default: " << flag.default_value << ")\n      " << flag.doc
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tbr

@@ -1,0 +1,68 @@
+// Minimal command-line flag parser for the CLI tool and examples.
+//
+// Supports --key=value, --key value, and boolean --switch forms, plus
+// automatic --help generation. Unknown flags are errors (fail fast rather
+// than silently ignoring a typo'd experiment parameter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tbr {
+
+class FlagParser {
+ public:
+  /// `program` and `summary` feed the --help text.
+  FlagParser(std::string program, std::string summary);
+
+  /// Declare flags before parse(). `doc` appears in --help.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string doc);
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string doc);
+  void add_bool(const std::string& name, bool default_value, std::string doc);
+  void add_double(const std::string& name, double default_value,
+                  std::string doc);
+
+  /// Parse argv. Returns false (and fills error()) on bad input; sets
+  /// help_requested() when --help/-h is present.
+  bool parse(int argc, const char* const* argv);
+  /// Parse a pre-split token list (testing convenience).
+  bool parse(const std::vector<std::string>& args);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// Leftover non-flag tokens (e.g. a subcommand), in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kString, kInt, kBool, kDouble };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual form
+    std::string default_value;
+    std::string doc;
+  };
+  const Flag& flag_or_die(const std::string& name, Kind kind) const;
+  bool assign(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declared_order_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace tbr

@@ -1,0 +1,30 @@
+// Fundamental identifier and time types shared by every module.
+//
+// Processes are indexed 0..n-1 (the paper uses 1..n; we keep 0-based indexing
+// and translate in documentation). Sequence numbers are signed 64-bit so that
+// -1 can serve as "none" in history bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tbr {
+
+/// Index of a process within a group (0-based; paper uses 1-based).
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Local sequence number (write index into the register history, or a read
+/// request counter). Only ever carried on the wire by the *baseline*
+/// algorithms; the two-bit algorithm keeps these strictly local.
+using SeqNo = std::int64_t;
+
+/// Virtual (simulated) or monotonic-real time in nanosecond ticks.
+using Tick = std::int64_t;
+
+/// Sentinel for "never" / "not yet".
+inline constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+}  // namespace tbr

@@ -1,0 +1,40 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+
+namespace tbr {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  TBR_ENSURE(lo <= hi, "uniform requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform01() < p;
+}
+
+std::int64_t Rng::exponential(double mean, std::int64_t cap) {
+  TBR_ENSURE(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  const double x = dist(engine_);
+  const auto v = static_cast<std::int64_t>(x);
+  return std::min(v, cap);
+}
+
+std::uint64_t Rng::fork_seed() {
+  // splitmix-style scramble of the next engine output so child streams are
+  // decorrelated from subsequent draws on this stream.
+  std::uint64_t z = engine_() + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace tbr

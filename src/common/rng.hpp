@@ -1,0 +1,60 @@
+// Seeded pseudo-random source used everywhere randomness is needed.
+//
+// All simulation randomness flows through a single Rng owned by the
+// SimNetwork, so a (topology, workload, seed) triple fully determines a run —
+// the property the adversarial-schedule tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean, capped at `cap`.
+  std::int64_t exponential(double mean, std::int64_t cap);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    TBR_ENSURE(!items.empty(), "pick from empty vector");
+    const auto idx = static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(items.size()) - 1));
+    return items[idx];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child seed (for per-process or per-run streams).
+  std::uint64_t fork_seed();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tbr

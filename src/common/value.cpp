@@ -1,0 +1,61 @@
+#include "common/value.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+Value Value::from_bytes(std::string bytes) {
+  Value v;
+  v.bytes_ = std::move(bytes);
+  return v;
+}
+
+Value Value::from_string(std::string_view s) {
+  return from_bytes(std::string(s));
+}
+
+Value Value::from_int64(std::int64_t v) {
+  std::string b(8, '\0');
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<char>((u >> (8 * i)) & 0xFF);
+  }
+  return from_bytes(std::move(b));
+}
+
+Value Value::filler(std::size_t size, std::uint8_t seed) {
+  std::string b(size, '\0');
+  std::uint8_t x = seed;
+  for (auto& c : b) {
+    x = static_cast<std::uint8_t>(x * 167u + 13u);
+    c = static_cast<char>(x);
+  }
+  return from_bytes(std::move(b));
+}
+
+std::int64_t Value::to_int64() const {
+  TBR_ENSURE(bytes_.size() == 8, "to_int64 requires an 8-byte payload");
+  std::uint64_t u = 0;
+  for (int i = 7; i >= 0; --i) {
+    u = (u << 8) | static_cast<std::uint8_t>(bytes_[static_cast<std::size_t>(i)]);
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+std::string Value::debug_string() const {
+  if (bytes_.size() == 8) {
+    return "int:" + std::to_string(to_int64());
+  }
+  const bool printable = std::all_of(bytes_.begin(), bytes_.end(), [](char c) {
+    return std::isprint(static_cast<unsigned char>(c)) != 0;
+  });
+  if (printable && bytes_.size() <= 32) {
+    return "str:" + bytes_;
+  }
+  return "bytes[" + std::to_string(bytes_.size()) + "]";
+}
+
+}  // namespace tbr

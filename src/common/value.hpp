@@ -1,0 +1,50 @@
+// Register value: an opaque byte string with integer/string conveniences.
+//
+// The register algorithms never interpret values; they only move them and
+// account for their size. Tests and examples use the int64/string encodings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tbr {
+
+class Value {
+ public:
+  Value() = default;
+
+  /// Construct from raw bytes.
+  static Value from_bytes(std::string bytes);
+  /// Construct from a UTF-8 string (stored verbatim).
+  static Value from_string(std::string_view s);
+  /// Construct from an integer (8-byte little-endian encoding).
+  static Value from_int64(std::int64_t v);
+  /// A value of `size` deterministic filler bytes (for payload-size sweeps).
+  static Value filler(std::size_t size, std::uint8_t seed = 0xA5);
+
+  /// Raw bytes.
+  const std::string& bytes() const noexcept { return bytes_; }
+  /// Payload size in bytes.
+  std::size_t size() const noexcept { return bytes_.size(); }
+  /// Payload size in bits (what the data-plane accounting uses).
+  std::uint64_t size_bits() const noexcept { return bytes_.size() * 8; }
+  bool empty() const noexcept { return bytes_.empty(); }
+
+  /// Decode an int64 previously encoded with from_int64.
+  /// Throws ContractViolation if the payload is not exactly 8 bytes.
+  std::int64_t to_int64() const;
+  /// Interpret the bytes as a string.
+  std::string to_string() const { return bytes_; }
+
+  /// Short printable form for logs ("int:42", "str:abc", "bytes[12]").
+  std::string debug_string() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace tbr

@@ -1,0 +1,131 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+
+namespace tbr {
+
+TwoBitInvariantObserver::TwoBitInvariantObserver(GroupConfig cfg)
+    : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  prev_wsync_.assign(cfg_.n, std::vector<SeqNo>(cfg_.n, 0));
+}
+
+void TwoBitInvariantObserver::operator()(SimNetwork& net) {
+  std::vector<const TwoBitProcess*> ps;
+  ps.reserve(cfg_.n);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    ps.push_back(&net.process_as<TwoBitProcess>(pid));
+  }
+  check_lemma1_steps(ps);
+  check_lemmas_2_3(ps);
+  check_lemma4_prefix(ps);
+  check_lemma5_counters(ps);
+  check_p1_channels(net);
+  check_p2_pairwise(ps);
+  ++checks_run_;
+}
+
+void TwoBitInvariantObserver::check_lemma1_steps(
+    const std::vector<const TwoBitProcess*>& ps) {
+  // Lemma 1 (steps of exactly 1) holds per message *processed* and is
+  // enforced by construction at every mutation site (wsn = w_sync[j] + 1
+  // plus the history-contiguity contracts in TwoBitProcess). One simulator
+  // event can cascade several parked messages, so at event granularity the
+  // observable guarantee is monotone non-decrease, which we check here;
+  // monotonicity is also what the proof of Claim 3 (Lemma 10) consumes.
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      const SeqNo cur = ps[i]->wsync(j);
+      if (has_prev_) {
+        const SeqNo old = prev_wsync_[i][j];
+        TBR_INVARIANT(cur >= old, "Lemma 1: w_sync never decreases");
+      }
+      prev_wsync_[i][j] = cur;
+    }
+  }
+  has_prev_ = true;
+}
+
+void TwoBitInvariantObserver::check_lemmas_2_3(
+    const std::vector<const TwoBitProcess*>& ps) {
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    SeqNo row_max = 0;
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      row_max = std::max(row_max, ps[i]->wsync(j));
+      TBR_INVARIANT(ps[i]->wsync(i) >= ps[j]->wsync(i),
+                    "Lemma 2: w_sync_i[i] >= w_sync_j[i]");
+    }
+    TBR_INVARIANT(ps[i]->wsync(i) == row_max,
+                  "Lemma 3: w_sync_i[i] is the row maximum");
+  }
+}
+
+void TwoBitInvariantObserver::check_lemma4_prefix(
+    const std::vector<const TwoBitProcess*>& ps) {
+  const auto& writer_hist = ps[cfg_.writer]->history();
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    const auto& hist = ps[i]->history();
+    TBR_INVARIANT(
+        static_cast<SeqNo>(hist.size()) == ps[i]->wsync(i) + 1,
+        "history length tracks w_sync_i[i]");
+    TBR_INVARIANT(hist.size() <= writer_hist.size(),
+                  "Lemma 4: no history outruns the writer's");
+    for (std::size_t x = 0; x < hist.size(); ++x) {
+      TBR_INVARIANT(hist[x] == writer_hist[x],
+                    "Lemma 4: local histories are prefixes of the writer's");
+    }
+  }
+}
+
+void TwoBitInvariantObserver::check_lemma5_counters(
+    const std::vector<const TwoBitProcess*>& ps) {
+  // R1: w_sync_i[i] = w_sync_i[j] = x  => i sent exactly x frames to j.
+  // R2: w_sync_i[i] > w_sync_i[j] = x  => i sent exactly x+1 frames to j.
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    if (ps[i]->crashed()) continue;  // the lemma quantifies over correct i
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (j == i) continue;
+      const SeqNo x = ps[i]->wsync(j);
+      const SeqNo sent = ps[i]->write_frames_sent_to(j);
+      if (ps[i]->wsync(i) == x) {
+        TBR_INVARIANT(sent == x, "Lemma 5 R1: sent = w_sync_i[j]");
+      } else {
+        TBR_INVARIANT(sent == x + 1, "Lemma 5 R2: sent = w_sync_i[j] + 1");
+      }
+    }
+  }
+}
+
+void TwoBitInvariantObserver::check_p1_channels(SimNetwork& net) {
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (i == j) continue;
+      std::vector<SeqNo> write_indices;
+      for (const auto& f : net.in_flight_between(i, j)) {
+        if (f.type <= 1) write_indices.push_back(f.debug_index);
+      }
+      TBR_INVARIANT(write_indices.size() <= 2,
+                    "P1: at most two WRITE frames in flight per channel");
+      if (write_indices.size() == 2) {
+        const auto [lo, hi] =
+            std::minmax(write_indices[0], write_indices[1]);
+        TBR_INVARIANT(hi == lo + 1,
+                      "P1: in-flight WRITE frames have consecutive indices");
+      }
+    }
+  }
+}
+
+void TwoBitInvariantObserver::check_p2_pairwise(
+    const std::vector<const TwoBitProcess*>& ps) {
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    for (ProcessId j = i + 1; j < cfg_.n; ++j) {
+      const SeqNo a = ps[i]->wsync(j);
+      const SeqNo b = ps[j]->wsync(i);
+      TBR_INVARIANT(std::llabs(a - b) <= 1,
+                    "P2: pairwise views differ by at most 1");
+    }
+  }
+}
+
+}  // namespace tbr

@@ -1,0 +1,46 @@
+// Executable versions of the paper's lemmas, run against the global state
+// of a simulated execution after every event.
+//
+//   Lemma 1    every w_sync cell moves in steps of exactly +1
+//   Lemma 2    w_sync_i[i] >= w_sync_j[i] for all i, j
+//   Lemma 3    w_sync_i[i] = max_j w_sync_i[j]
+//   Lemma 4    every local history is a prefix of the writer's history
+//   Lemma 5    R1/R2 relate frames-sent counters to w_sync views
+//   Property P1 at most two WRITE frames in flight per channel, with
+//              consecutive indices (hence distinct parity bits)
+//   Property P2 |w_sync_i[j] - w_sync_j[i]| <= 1
+//
+// Violations throw ContractViolation, failing the enclosing test.
+#pragma once
+
+#include <vector>
+
+#include "core/twobit_process.hpp"
+#include "sim/sim_network.hpp"
+
+namespace tbr {
+
+class TwoBitInvariantObserver {
+ public:
+  explicit TwoBitInvariantObserver(GroupConfig cfg);
+
+  /// Install as `net.set_post_event_hook(std::ref(observer))`.
+  void operator()(SimNetwork& net);
+
+  std::uint64_t checks_run() const noexcept { return checks_run_; }
+
+ private:
+  void check_lemma1_steps(const std::vector<const TwoBitProcess*>& ps);
+  void check_lemmas_2_3(const std::vector<const TwoBitProcess*>& ps);
+  void check_lemma4_prefix(const std::vector<const TwoBitProcess*>& ps);
+  void check_lemma5_counters(const std::vector<const TwoBitProcess*>& ps);
+  void check_p1_channels(SimNetwork& net);
+  void check_p2_pairwise(const std::vector<const TwoBitProcess*>& ps);
+
+  GroupConfig cfg_;
+  std::vector<std::vector<SeqNo>> prev_wsync_;  // Lemma-1 step tracking
+  bool has_prev_ = false;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace tbr

@@ -1,0 +1,71 @@
+#include "core/twobit_codec.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+bool is_write_type(std::uint8_t type) {
+  return type == static_cast<std::uint8_t>(TwoBitType::kWrite0) ||
+         type == static_cast<std::uint8_t>(TwoBitType::kWrite1);
+}
+}  // namespace
+
+std::string TwoBitCodec::encode(const Message& msg) const {
+  TBR_ENSURE(msg.type <= 3, "two-bit codec has exactly four types");
+  TBR_ENSURE(msg.seq == 0 && msg.aux == 0,
+             "two-bit frames carry no sequence numbers — that is the point");
+  std::string out;
+  out.push_back(static_cast<char>(msg.type));  // 2 meaningful bits
+  if (is_write_type(msg.type)) {
+    TBR_ENSURE(msg.has_value, "WRITE frames carry the written value");
+    wire::put_u32(out, static_cast<std::uint32_t>(msg.value.size()));
+    out.append(msg.value.bytes());
+  } else {
+    TBR_ENSURE(!msg.has_value, "READ/PROCEED frames carry no value");
+  }
+  return out;
+}
+
+Message TwoBitCodec::decode(std::string_view bytes) const {
+  std::size_t pos = 0;
+  Message msg;
+  msg.type = wire::get_u8(bytes, pos);
+  TBR_ENSURE(msg.type <= 3, "bad two-bit frame type");
+  if (is_write_type(msg.type)) {
+    const auto len = wire::get_u32(bytes, pos);
+    msg.value = Value::from_bytes(wire::get_blob(bytes, pos, len));
+    msg.has_value = true;
+  }
+  TBR_ENSURE(pos == bytes.size(), "trailing bytes in two-bit frame");
+  msg.wire = account(msg);
+  return msg;
+}
+
+WireAccounting TwoBitCodec::account(const Message& msg) const {
+  WireAccounting wire;
+  wire.control_bits = kControlBitsPerMessage;
+  wire.data_bits = msg.has_value ? 32 + msg.value.size_bits() : 0;
+  return wire;
+}
+
+std::string TwoBitCodec::type_name(std::uint8_t type) const {
+  switch (static_cast<TwoBitType>(type)) {
+    case TwoBitType::kWrite0:
+      return "WRITE0";
+    case TwoBitType::kWrite1:
+      return "WRITE1";
+    case TwoBitType::kRead:
+      return "READ";
+    case TwoBitType::kProceed:
+      return "PROCEED";
+  }
+  return "UNKNOWN(" + std::to_string(type) + ")";
+}
+
+const TwoBitCodec& twobit_codec() {
+  static const TwoBitCodec codec;
+  return codec;
+}
+
+}  // namespace tbr

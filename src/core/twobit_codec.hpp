@@ -1,0 +1,38 @@
+// Wire format of the two-bit algorithm: the paper's headline property.
+//
+// Four frame types — WRITE0, WRITE1, READ, PROCEED — and *no* control field
+// beyond the type. WRITE frames carry the register value (data plane);
+// READ/PROCEED carry nothing at all. Control cost of every frame: 2 bits.
+//
+// On a byte-oriented wire the 2-bit type necessarily occupies one byte; the
+// control-bit accounting counts the 2 meaningful bits, exactly the quantity
+// the paper compares in Table 1 line 3 (the 6 padding bits are an artifact
+// of byte framing, not protocol information).
+#pragma once
+
+#include "net/codec.hpp"
+
+namespace tbr {
+
+/// The four message types of Fig. 1. WRITE parity = (type & 1).
+enum class TwoBitType : std::uint8_t {
+  kWrite0 = 0,
+  kWrite1 = 1,
+  kRead = 2,
+  kProceed = 3,
+};
+
+class TwoBitCodec final : public Codec {
+ public:
+  std::string encode(const Message& msg) const override;
+  Message decode(std::string_view bytes) const override;
+  WireAccounting account(const Message& msg) const override;
+  std::string type_name(std::uint8_t type) const override;
+
+  static constexpr std::uint64_t kControlBitsPerMessage = 2;
+};
+
+/// Shared immutable codec instance.
+const TwoBitCodec& twobit_codec();
+
+}  // namespace tbr

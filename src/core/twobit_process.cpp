@@ -1,0 +1,431 @@
+#include "core/twobit_process.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tbr {
+
+TwoBitProcess::TwoBitProcess(GroupConfig cfg, ProcessId self,
+                             TwoBitOptions options)
+    : RegisterProcessBase(std::move(cfg), self),
+      options_(options),
+      history_{cfg_.initial},                 // history_i[0] <- v0
+      w_sync_(cfg_.n, 0),                     // w_sync_i[1..n] <- [0..0]
+      r_sync_(cfg_.n, 0),                     // r_sync_i[1..n] <- [0..0]
+      parked_write_(cfg_.n),
+      parked_reads_(cfg_.n),
+      write_frames_sent_(cfg_.n, 0) {}
+
+// ---- history storage (unbounded by default; windowed for the ablation) ----
+
+void TwoBitProcess::append_history(Value v) {
+  history_.push_back(std::move(v));
+  if (options_.history_window > 0) {
+    while (history_.size() > options_.history_window) {
+      history_.pop_front();
+      ++history_base_;
+      ++evicted_;
+    }
+  }
+}
+
+bool TwoBitProcess::history_has(SeqNo idx) const {
+  return idx >= history_base_ &&
+         idx < history_base_ + static_cast<SeqNo>(history_.size());
+}
+
+const Value& TwoBitProcess::history_at(SeqNo idx) const {
+  TBR_ENSURE(history_has(idx), "history index evicted or out of range");
+  return history_[static_cast<std::size_t>(idx - history_base_)];
+}
+
+SeqNo TwoBitProcess::history_head() const {
+  return history_base_ + static_cast<SeqNo>(history_.size()) - 1;
+}
+
+// ---- operation write() — Fig. 1 lines 1-4 ---------------------------------
+
+void TwoBitProcess::start_write(NetworkContext& net, Value v, WriteDone done) {
+  TBR_ENSURE(is_writer(), "only the writer p_w may invoke write()");
+  TBR_ENSURE(done != nullptr, "write needs a completion callback");
+  begin_operation("write");
+
+  // line 1: wsn <- w_sync[w]+1; w_sync[w] <- wsn; history[wsn] <- v
+  const SeqNo wsn = w_sync_[self_] + 1;
+  w_sync_[self_] = wsn;
+  append_history(std::move(v));
+  TBR_ENSURE(history_head() == wsn, "history head tracks w_sync[self]");
+
+  // line 2: send WRITE(b, v) to every j with w_sync[j] = wsn-1.
+  // (self is excluded naturally: w_sync[self] = wsn.)
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (w_sync_[j] == wsn - 1) send_write_frame(net, j, wsn);
+  }
+
+  // line 3: wait until >= n-t processes j have w_sync[j] = wsn.
+  pending_write_ = PendingWrite{wsn, std::move(done)};
+  after_state_change(net);  // n-t may already hold (e.g. n = 1)
+}
+
+// ---- operation read() — Fig. 1 lines 5-10 ---------------------------------
+
+void TwoBitProcess::start_read(NetworkContext& net, ReadDone done) {
+  TBR_ENSURE(done != nullptr, "read needs a completion callback");
+  begin_operation("read");
+
+  // Remark on line 5: the writer may serve reads locally (opt-in).
+  if (cfg_.writer_fast_read && is_writer()) {
+    const SeqNo sn = w_sync_[self_];
+    end_operation();
+    done(history_at(sn), sn);
+    return;
+  }
+
+  // line 5: rsn <- r_sync[i]+1; r_sync[i] <- rsn
+  const SeqNo rsn = r_sync_[self_] + 1;
+  r_sync_[self_] = rsn;
+
+  // line 6: send READ() to every other process.
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) send_control_frame(net, j, TwoBitType::kRead);
+  }
+
+  // lines 7-10 happen in check_pending_ops as the quorums fill.
+  pending_read_ = PendingRead{rsn, ReadStage::kAwaitProceeds, -1,
+                              std::move(done)};
+  after_state_change(net);
+}
+
+// ---- message dispatch ------------------------------------------------------
+
+void TwoBitProcess::on_message(NetworkContext& net, ProcessId from,
+                               const Message& msg) {
+  TBR_ENSURE(!crashed_, "runtime delivered a message to a crashed process");
+  TBR_ENSURE(from < cfg_.n && from != self_, "bad sender");
+  switch (static_cast<TwoBitType>(msg.type)) {
+    case TwoBitType::kWrite0:
+    case TwoBitType::kWrite1:
+      TBR_ENSURE(msg.has_value, "WRITE frame without value");
+      on_write(net, from, static_cast<std::uint8_t>(msg.type & 1), msg.value);
+      break;
+    case TwoBitType::kRead:
+      on_read(net, from);
+      break;
+    case TwoBitType::kProceed:
+      on_proceed(net, from);
+      break;
+    default:
+      TBR_ENSURE(false, "unknown two-bit frame type");
+  }
+}
+
+// ---- WRITE(b, v) — Fig. 1 lines 11-18 --------------------------------------
+
+void TwoBitProcess::on_write(NetworkContext& net, ProcessId from,
+                             std::uint8_t parity, const Value& v) {
+  // line 11: wait (b = (w_sync[j]+1) mod 2). The alternating-bit pattern
+  // (Property P1) lets at most one WRITE bypass its predecessor per channel,
+  // so a single parking slot per sender suffices — asserted here.
+  const auto expected =
+      static_cast<std::uint8_t>((w_sync_[from] + 1) % 2);
+  if (parity != expected) {
+    TBR_ENSURE(!parked_write_[from].has_value(),
+               "P1 violated: two WRITE frames bypassed on one channel");
+    parked_write_[from] = ParkedWrite{parity, v};
+    return;
+  }
+  process_write(net, from, parity, v);
+  after_state_change(net);
+}
+
+void TwoBitProcess::process_write(NetworkContext& net, ProcessId from,
+                                  std::uint8_t parity, const Value& v) {
+  // line 12: this is the (w_sync[j]+1)-th WRITE from j.
+  const SeqNo wsn = w_sync_[from] + 1;
+  TBR_ENSURE(parity == static_cast<std::uint8_t>(wsn % 2),
+             "parity/wsn mismatch");
+
+  if (wsn == w_sync_[self_] + 1) {
+    // lines 13-15: the next value of our own history — adopt and forward to
+    // everyone we believe knows exactly the first wsn-1 values (Rule R1).
+    // Note w_sync[from] is still wsn-1 until line 18, so the sender is
+    // among the recipients: that echo is what acknowledges the value.
+    w_sync_[self_] = wsn;
+    append_history(v);
+    TBR_ENSURE(history_head() == wsn, "history head tracks w_sync[self]");
+    for (ProcessId l = 0; l < cfg_.n; ++l) {
+      if (w_sync_[l] == wsn - 1) send_write_frame(net, l, wsn);
+    }
+    // line 18: j has now sent us wsn WRITE frames.
+    w_sync_[from] = wsn;
+  } else {
+    // Apply line 18 before line 16: neither line-16 predicate nor payload
+    // depends on w_sync[from], and updating first keeps the send-side
+    // ping-pong invariant (w_sync[to] = index-1 at every send) intact.
+    w_sync_[from] = wsn;
+    if (wsn < w_sync_[self_]) {
+      // line 16: the sender lags behind us — return its next value (Rule R2).
+      if (history_has(wsn + 1)) {
+        send_write_frame(net, from, wsn + 1);
+      } else {
+        // Window ablation only: the needed value was evicted; the sender
+        // can never be caught up by us. Faithful mode never gets here.
+        TBR_ENSURE(options_.history_window > 0,
+                   "evicted history without a window configured");
+        ++skipped_catchups_;
+      }
+    }
+    // (wsn == w_sync[self]: nothing to do beyond line 18.)
+  }
+}
+
+// ---- READ() — Fig. 1 lines 19-21 -------------------------------------------
+
+void TwoBitProcess::on_read(NetworkContext& net, ProcessId from) {
+  // Ablation: answer immediately, ABD-style (drops the atomicity guarantee
+  // the freshness wait provides — see TwoBitOptions::eager_proceed).
+  if (options_.eager_proceed) {
+    send_control_frame(net, from, TwoBitType::kProceed);
+    return;
+  }
+  // line 19: freshness point = our newest value.
+  const SeqNo sn = w_sync_[self_];
+  // line 20: wait (w_sync[from] >= sn); line 21: send PROCEED.
+  if (w_sync_[from] >= sn) {
+    send_control_frame(net, from, TwoBitType::kProceed);
+  } else {
+    // Successive READs from one reader see monotonically non-decreasing
+    // freshness points, so releasing the deque front-first is correct.
+    TBR_ENSURE(parked_reads_[from].empty() ||
+                   parked_reads_[from].back() <= sn,
+               "freshness points must be monotone per reader");
+    parked_reads_[from].push_back(sn);
+  }
+}
+
+// ---- PROCEED() — Fig. 1 line 22 ---------------------------------------------
+
+void TwoBitProcess::on_proceed(NetworkContext& net, ProcessId from) {
+  r_sync_[from] += 1;
+  after_state_change(net);
+}
+
+// ---- wait re-examination ----------------------------------------------------
+
+void TwoBitProcess::after_state_change(NetworkContext& net) {
+  // Completion callbacks may synchronously start the next operation (the
+  // closed-loop drivers do), which re-enters this function; the outermost
+  // call owns the fixpoint loop and nested calls are no-ops.
+  if (in_after_state_change_) return;
+  in_after_state_change_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (drain_parked_writes(net)) progress = true;
+    if (drain_parked_reads(net)) progress = true;
+    if (check_pending_ops(net)) progress = true;
+  }
+  in_after_state_change_ = false;
+}
+
+bool TwoBitProcess::drain_parked_writes(NetworkContext& net) {
+  bool any = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (!parked_write_[j].has_value()) continue;
+      const auto expected =
+          static_cast<std::uint8_t>((w_sync_[j] + 1) % 2);
+      if (parked_write_[j]->parity != expected) continue;
+      ParkedWrite pw = std::move(*parked_write_[j]);
+      parked_write_[j].reset();
+      process_write(net, j, pw.parity, pw.value);
+      progress = true;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool TwoBitProcess::drain_parked_reads(NetworkContext& net) {
+  bool any = false;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    auto& q = parked_reads_[j];
+    while (!q.empty() && w_sync_[j] >= q.front()) {
+      q.pop_front();
+      send_control_frame(net, j, TwoBitType::kProceed);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool TwoBitProcess::check_pending_ops(NetworkContext& net) {
+  (void)net;
+  const auto quorum = cfg_.quorum();
+  bool any = false;
+
+  // line 3: z >= n-t processes j with w_sync[j] = wsn.
+  if (pending_write_.has_value() &&
+      count_wsync_eq(pending_write_->wsn) >= quorum) {
+    WriteDone done = std::move(pending_write_->done);
+    pending_write_.reset();
+    end_operation();
+    done();
+    any = true;
+  }
+
+  if (pending_read_.has_value() &&
+      pending_read_->stage == ReadStage::kAwaitProceeds &&
+      count_rsync_eq(pending_read_->rsn) >= quorum) {
+    // line 8: sn <- w_sync[i], captured the moment the quorum completes.
+    pending_read_->sn = w_sync_[self_];
+    if (options_.skip_read_second_wait) {
+      // Ablation: return without line 9's quorum.
+      const SeqNo sn = pending_read_->sn;
+      ReadDone done = std::move(pending_read_->done);
+      pending_read_.reset();
+      end_operation();
+      done(history_at(sn), sn);
+      return true;
+    }
+    pending_read_->stage = ReadStage::kAwaitWsync;
+    any = true;
+  }
+  if (pending_read_.has_value() &&
+      pending_read_->stage == ReadStage::kAwaitWsync &&
+      count_wsync_ge(pending_read_->sn) >= quorum) {
+    // line 10: return history[sn].
+    const SeqNo sn = pending_read_->sn;
+    ReadDone done = std::move(pending_read_->done);
+    pending_read_.reset();
+    end_operation();
+    done(history_at(sn), sn);
+    any = true;
+  }
+  return any;
+}
+
+// ---- sending ---------------------------------------------------------------
+
+void TwoBitProcess::send_write_frame(NetworkContext& net, ProcessId to,
+                                     SeqNo index) {
+  TBR_ENSURE(index >= 1 && history_has(index),
+             "WRITE frame index must reference a retained value");
+  if (options_.check_internal_invariants) {
+    // Lemma 5 / alternating-bit send discipline: frames to each destination
+    // go out exactly once each, in index order, and only when our view of
+    // the destination is index-1.
+    TBR_INVARIANT(index == write_frames_sent_[to] + 1,
+                  "WRITE frames to a peer must be the sequence 1,2,3,...");
+    TBR_INVARIANT(w_sync_[to] == index - 1,
+                  "ping-pong: send index only when w_sync[to] = index-1");
+  }
+  write_frames_sent_[to] = index;
+
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(index % 2 == 0 ? TwoBitType::kWrite0
+                                                      : TwoBitType::kWrite1);
+  msg.has_value = true;
+  msg.value = history_at(index);
+  msg.wire = twobit_codec().account(msg);
+  msg.debug_index = index;  // simulator-side diagnostics only; not on wire
+  net.send(to, msg);
+}
+
+void TwoBitProcess::send_control_frame(NetworkContext& net, ProcessId to,
+                                       TwoBitType type) {
+  TBR_ENSURE(type == TwoBitType::kRead || type == TwoBitType::kProceed,
+             "control frames are READ/PROCEED");
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(type);
+  msg.wire = twobit_codec().account(msg);
+  net.send(to, msg);
+}
+
+// ---- counting helpers (the paper's z computations) ---------------------------
+
+std::uint32_t TwoBitProcess::count_wsync_eq(SeqNo v) const {
+  std::uint32_t z = 0;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    TBR_INVARIANT(w_sync_[j] <= w_sync_[self_],
+                  "Lemma 3: w_sync[self] dominates the row");
+    if (w_sync_[j] == v) ++z;
+  }
+  return z;
+}
+
+std::uint32_t TwoBitProcess::count_wsync_ge(SeqNo v) const {
+  std::uint32_t z = 0;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (w_sync_[j] >= v) ++z;
+  }
+  return z;
+}
+
+std::uint32_t TwoBitProcess::count_rsync_eq(SeqNo v) const {
+  std::uint32_t z = 0;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    TBR_INVARIANT(r_sync_[j] <= r_sync_[self_],
+                  "no peer can answer more read requests than we issued");
+    if (r_sync_[j] == v) ++z;
+  }
+  return z;
+}
+
+// ---- misc --------------------------------------------------------------------
+
+void TwoBitProcess::on_crash() { crashed_ = true; }
+
+std::uint64_t TwoBitProcess::local_memory_bytes() const {
+  // Live protocol state, the quantity Table 1 line 4 compares. The history
+  // makes it unbounded in the number of writes — the paper's stated cost of
+  // eliminating on-wire sequence numbers.
+  std::uint64_t bytes = 0;
+  for (const auto& v : history_) bytes += 8 + v.size();  // entry + payload
+  bytes += 8ull * w_sync_.size();
+  bytes += 8ull * r_sync_.size();
+  for (const auto& pw : parked_write_) {
+    if (pw.has_value()) bytes += 16 + pw->value.size();
+  }
+  for (const auto& q : parked_reads_) bytes += 8ull * q.size();
+  return bytes;
+}
+
+std::vector<Value> TwoBitProcess::history() const {
+  return {history_.begin(), history_.end()};
+}
+
+SeqNo TwoBitProcess::wsync(ProcessId j) const {
+  TBR_ENSURE(j < cfg_.n, "pid out of range");
+  return w_sync_[j];
+}
+
+SeqNo TwoBitProcess::rsync(ProcessId j) const {
+  TBR_ENSURE(j < cfg_.n, "pid out of range");
+  return r_sync_[j];
+}
+
+SeqNo TwoBitProcess::write_frames_sent_to(ProcessId j) const {
+  TBR_ENSURE(j < cfg_.n, "pid out of range");
+  return write_frames_sent_[j];
+}
+
+bool TwoBitProcess::has_parked_write(ProcessId from) const {
+  TBR_ENSURE(from < cfg_.n, "pid out of range");
+  return parked_write_[from].has_value();
+}
+
+std::size_t TwoBitProcess::parked_read_count() const {
+  std::size_t count = 0;
+  for (const auto& q : parked_reads_) count += q.size();
+  return count;
+}
+
+std::unique_ptr<RegisterProcessBase> make_twobit_process(GroupConfig cfg,
+                                                         ProcessId self) {
+  return std::make_unique<TwoBitProcess>(std::move(cfg), self);
+}
+
+}  // namespace tbr

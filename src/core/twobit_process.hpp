@@ -1,0 +1,158 @@
+// TwoBitProcess: the paper's Figure 1, one process's worth.
+//
+// Line-by-line mapping (paper line -> code):
+//   init            constructor
+//   write  1-4      start_write / pending-write completion in check_pending_ops
+//   read   5-10     start_read  / two-stage completion in check_pending_ops
+//   WRITE  11-18    on_write (line 11's wait = per-sender parking slot)
+//   READ   19-21    on_read  (line 20's wait = per-reader parked (sn) queue)
+//   PROCEED 22      on_proceed
+//
+// The paper's `wait` statements never block the process: the waited-on work
+// is parked and re-examined after every state change (after_state_change).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/twobit_codec.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+struct TwoBitOptions {
+  /// Executable Lemma-5 / ping-pong checks on every send (cheap; the
+  /// property suite runs with them on).
+  bool check_internal_invariants = true;
+
+  /// 0 = faithful algorithm (unbounded history, as the paper requires).
+  /// m >= 1 retains only the last m history entries — the ablation for the
+  /// paper's concluding open problem ("can local memory be bounded?").
+  /// Rule R2 catch-ups that would need an evicted value are skipped, so
+  /// safety is preserved but a process lagging more than m values behind
+  /// stalls forever: Lemma 9's liveness fails exactly where the authors
+  /// conjecture it must. Never enable in production use.
+  std::size_t history_window = 0;
+
+  /// ABLATION: drop Fig. 1 line 9 (the read's second quorum wait). Claim 2
+  /// survives (its proof only needs lines 7/20 + Lemma 2) but Claim 3 loses
+  /// its quorum Q_ri: new/old inversions (C3) become possible. Never enable
+  /// in production use.
+  bool skip_read_second_wait = false;
+
+  /// ABLATION: drop Fig. 1 line 20 (the responder's freshness wait) and
+  /// PROCEED immediately, as an ABD-style "answer by return" would
+  /// (footnote 3 of the paper). Readers can then return values older than a
+  /// completed write: stale reads (C2). Never enable in production use.
+  bool eager_proceed = false;
+};
+
+class TwoBitProcess final : public RegisterProcessBase {
+ public:
+  TwoBitProcess(GroupConfig cfg, ProcessId self,
+                TwoBitOptions options = TwoBitOptions());
+
+  // ---- RegisterProcessBase -----------------------------------------------
+  void start_write(NetworkContext& net, Value v, WriteDone done) override;
+  void start_read(NetworkContext& net, ReadDone done) override;
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+  std::uint64_t local_memory_bytes() const override;
+  const Codec& codec() const override { return twobit_codec(); }
+
+  // ---- introspection (invariant observers, tests, benches) ----------------
+  /// w_sync_i[j]: to this process's knowledge, j knows history[0..w_sync(j)].
+  SeqNo wsync(ProcessId j) const;
+  /// r_sync_i[j]: how many of our READ requests j has answered.
+  SeqNo rsync(ProcessId j) const;
+  /// Copy of the retained history entries; element k is history index
+  /// history_base() + k. With history_window = 0 (the algorithm as
+  /// published) the base is always 0 and this is the full prefix.
+  std::vector<Value> history() const;
+  /// Smallest retained history index (0 unless a window evicted entries).
+  SeqNo history_base() const noexcept { return history_base_; }
+  /// Number of entries dropped by the window ablation (0 when faithful).
+  std::uint64_t evicted_count() const noexcept { return evicted_; }
+  /// Number of Rule-R2 catch-ups skipped because the value was evicted.
+  std::uint64_t skipped_catchups() const noexcept { return skipped_catchups_; }
+  /// Number of WRITE frames this process has sent to j (Lemma 5's counter).
+  SeqNo write_frames_sent_to(ProcessId j) const;
+  bool has_parked_write(ProcessId from) const;
+  std::size_t parked_read_count() const;
+  bool crashed() const noexcept { return crashed_; }
+
+ private:
+  struct ParkedWrite {
+    std::uint8_t parity = 0;
+    Value value;
+  };
+  struct PendingWrite {
+    SeqNo wsn = 0;
+    WriteDone done;
+  };
+  enum class ReadStage { kAwaitProceeds, kAwaitWsync };
+  struct PendingRead {
+    SeqNo rsn = 0;
+    ReadStage stage = ReadStage::kAwaitProceeds;
+    SeqNo sn = -1;  // captured at line 8 when stage 1 completes
+    ReadDone done;
+  };
+
+  // Fig. 1 handlers.
+  void on_write(NetworkContext& net, ProcessId from, std::uint8_t parity,
+                const Value& v);
+  void process_write(NetworkContext& net, ProcessId from, std::uint8_t parity,
+                     const Value& v);  // lines 12-18
+  void on_read(NetworkContext& net, ProcessId from);     // lines 19-21
+  void on_proceed(NetworkContext& net, ProcessId from);  // line 22
+
+  /// Re-examine everything the paper `wait`s on. Runs to fixpoint.
+  void after_state_change(NetworkContext& net);
+  bool drain_parked_writes(NetworkContext& net);
+  bool drain_parked_reads(NetworkContext& net);
+  bool check_pending_ops(NetworkContext& net);
+
+  void send_write_frame(NetworkContext& net, ProcessId to, SeqNo index);
+  void send_control_frame(NetworkContext& net, ProcessId to, TwoBitType type);
+  std::uint32_t count_wsync_eq(SeqNo v) const;
+  std::uint32_t count_wsync_ge(SeqNo v) const;
+  std::uint32_t count_rsync_eq(SeqNo v) const;
+
+  /// history_i[idx] for retained idx; appends evict under the window option.
+  void append_history(Value v);
+  const Value& history_at(SeqNo idx) const;
+  bool history_has(SeqNo idx) const;
+  SeqNo history_head() const;  // == w_sync_[self_]
+
+  TwoBitOptions options_;
+
+  // Fig. 1 local state. The deque holds indices
+  // [history_base_, history_base_ + size); base stays 0 unless the
+  // window ablation evicts.
+  std::deque<Value> history_;
+  SeqNo history_base_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t skipped_catchups_ = 0;
+  std::vector<SeqNo> w_sync_;    // w_sync_i[1..n] (0-based here)
+  std::vector<SeqNo> r_sync_;    // r_sync_i[1..n]
+
+  // `wait` translations.
+  std::vector<std::optional<ParkedWrite>> parked_write_;  // line 11, per sender
+  std::vector<std::deque<SeqNo>> parked_reads_;           // line 20, per reader
+  std::optional<PendingWrite> pending_write_;             // line 3
+  std::optional<PendingRead> pending_read_;               // lines 7/9
+
+  // Diagnostics (not part of the algorithm).
+  std::vector<SeqNo> write_frames_sent_;  // per destination
+  bool crashed_ = false;
+  bool in_after_state_change_ = false;
+};
+
+/// Factory with the RegisterProcessBase signature used by group builders.
+std::unique_ptr<RegisterProcessBase> make_twobit_process(GroupConfig cfg,
+                                                         ProcessId self);
+
+}  // namespace tbr

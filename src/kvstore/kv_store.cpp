@@ -1,0 +1,117 @@
+#include "kvstore/kv_store.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+
+/// FNV-1a 64-bit: stable key placement independent of libstdc++ version.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+KvStore::KvStore(Options options)
+    : n_(options.n), slots_(options.slots) {
+  TBR_ENSURE(slots_ >= 1, "store needs at least one slot");
+  const std::uint32_t n = options.n;
+  const std::uint32_t t = options.t;
+  const Value initial = options.initial;
+  auto slot_cfg = [n, t, initial](std::uint32_t slot) {
+    GroupConfig cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.writer = slot % n;  // shard placement: slot's home node
+    cfg.initial = initial;
+    cfg.validate();
+    return cfg;
+  };
+
+  std::vector<std::unique_ptr<ProcessBase>> processes;
+  processes.reserve(n_);
+  for (ProcessId pid = 0; pid < n_; ++pid) {
+    processes.push_back(std::make_unique<MuxProcess>(
+        slots_, slot_cfg, pid, options.register_factory));
+  }
+  SimNetwork::Options net_opt;
+  net_opt.seed = options.seed;
+  net_opt.loss_rate = options.loss_rate;
+  net_opt.delay =
+      options.delay ? std::move(options.delay) : make_constant_delay(1000);
+  net_ = std::make_unique<SimNetwork>(std::move(processes),
+                                      std::move(net_opt));
+}
+
+std::uint32_t KvStore::slot_of(std::string_view key) const {
+  return static_cast<std::uint32_t>(fnv1a(key) % slots_);
+}
+
+ProcessId KvStore::home_node(std::string_view key) const {
+  return slot_of(key) % n_;
+}
+
+MuxProcess& KvStore::mux_at(ProcessId node) {
+  return net_->process_as<MuxProcess>(node);
+}
+
+void KvStore::put(std::string_view key, Value value) {
+  const std::uint32_t slot = slot_of(key);
+  const ProcessId home = slot % n_;
+  if (net_->crashed(home)) {
+    throw std::runtime_error("put(" + std::string(key) +
+                             "): home node p" + std::to_string(home) +
+                             " has crashed");
+  }
+  bool done = false;
+  mux_at(home).start_write(net_->context(home), slot, std::move(value),
+                           [&done] { done = true; });
+  const bool finished = net_->run_until([&done] { return done; });
+  TBR_ENSURE(finished, "put could not complete (liveness lost?)");
+}
+
+KvStore::GetResult KvStore::get(std::string_view key, ProcessId reader) {
+  TBR_ENSURE(reader < n_, "reader out of range");
+  if (net_->crashed(reader)) {
+    throw std::runtime_error("get(" + std::string(key) + "): replica p" +
+                             std::to_string(reader) + " has crashed");
+  }
+  const std::uint32_t slot = slot_of(key);
+  GetResult out;
+  bool done = false;
+  const Tick start = net_->now();
+  mux_at(reader).start_read(net_->context(reader), slot,
+                            [&](const Value& v, SeqNo index) {
+                              out.value = v;
+                              out.version = index;
+                              done = true;
+                            });
+  const bool finished = net_->run_until([&done] { return done; });
+  TBR_ENSURE(finished, "get could not complete (liveness lost?)");
+  out.latency = net_->now() - start;
+  return out;
+}
+
+void KvStore::crash(ProcessId node) { net_->crash_now(node); }
+
+bool KvStore::crashed(ProcessId node) const { return net_->crashed(node); }
+
+void KvStore::settle() { (void)net_->run(); }
+
+std::uint64_t KvStore::total_memory_bytes() {
+  std::uint64_t bytes = 0;
+  for (ProcessId pid = 0; pid < n_; ++pid) {
+    bytes += mux_at(pid).local_memory_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace tbr

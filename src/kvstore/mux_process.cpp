@@ -1,0 +1,119 @@
+#include "kvstore/mux_process.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "core/twobit_process.hpp"
+
+namespace tbr {
+
+// Per-slot view of the network: wraps the inner register's frames in a
+// slot-tagged envelope before they reach the real transport.
+class MuxProcess::SlotContext final : public NetworkContext {
+ public:
+  SlotContext(MuxProcess& mux, std::uint32_t slot)
+      : mux_(mux), slot_(slot) {}
+
+  void send(ProcessId to, const Message& inner) override {
+    TBR_ENSURE(mux_.net_ != nullptr, "slot context used before start");
+    Message outer;
+    outer.type = inner.type;  // per-type stats still reflect the protocol
+    outer.seq = slot_;        // routing tag (addressing, not control)
+    outer.value =
+        Value::from_bytes(mux_.slots_[slot_]->codec().encode(inner));
+    outer.has_value = true;
+    outer.debug_index = inner.debug_index;
+    outer.wire.control_bits = inner.wire.control_bits;
+    outer.wire.data_bits = inner.wire.data_bits + 32;  // the slot tag
+    mux_.net_->send(to, outer);
+  }
+  ProcessId self() const override { return mux_.self_; }
+  std::uint32_t process_count() const override {
+    TBR_ENSURE(mux_.net_ != nullptr, "slot context used before start");
+    return mux_.net_->process_count();
+  }
+  Tick now() const override {
+    TBR_ENSURE(mux_.net_ != nullptr, "slot context used before start");
+    return mux_.net_->now();
+  }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    TBR_ENSURE(mux_.net_ != nullptr, "slot context used before start");
+    mux_.net_->schedule(delay, std::move(fn));
+  }
+
+ private:
+  MuxProcess& mux_;
+  std::uint32_t slot_;
+};
+
+MuxProcess::MuxProcess(std::uint32_t slots,
+                       std::function<GroupConfig(std::uint32_t)> slot_cfg,
+                       ProcessId self, SlotFactory factory)
+    : self_(self) {
+  TBR_ENSURE(slots >= 1, "mux needs at least one slot");
+  TBR_ENSURE(slot_cfg != nullptr, "mux needs a slot config source");
+  slots_.reserve(slots);
+  contexts_.reserve(slots);
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    const GroupConfig cfg = slot_cfg(s);
+    slots_.push_back(factory
+                         ? factory(cfg, self)
+                         : std::make_unique<TwoBitProcess>(cfg, self));
+    contexts_.push_back(std::make_unique<SlotContext>(*this, s));
+  }
+}
+
+MuxProcess::~MuxProcess() = default;
+
+void MuxProcess::on_start(NetworkContext& net) {
+  net_ = &net;
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    slots_[s]->on_start(*contexts_[s]);
+  }
+}
+
+void MuxProcess::on_message(NetworkContext& net, ProcessId from,
+                            const Message& msg) {
+  net_ = &net;
+  TBR_ENSURE(msg.has_value, "mux frame without payload");
+  TBR_ENSURE(msg.seq >= 0 &&
+                 msg.seq < static_cast<SeqNo>(slots_.size()),
+             "mux frame for unknown slot");
+  const auto slot_index = static_cast<std::uint32_t>(msg.seq);
+  const Message inner =
+      slots_[slot_index]->codec().decode(msg.value.bytes());
+  slots_[slot_index]->on_message(*contexts_[slot_index], from, inner);
+}
+
+void MuxProcess::on_crash() {
+  crashed_ = true;
+  for (auto& reg : slots_) reg->on_crash();
+}
+
+void MuxProcess::start_write(NetworkContext& net, std::uint32_t slot_index,
+                             Value v, RegisterProcessBase::WriteDone done) {
+  net_ = &net;
+  TBR_ENSURE(slot_index < slots_.size(), "slot out of range");
+  slots_[slot_index]->start_write(*contexts_[slot_index], std::move(v),
+                                  std::move(done));
+}
+
+void MuxProcess::start_read(NetworkContext& net, std::uint32_t slot_index,
+                            RegisterProcessBase::ReadDone done) {
+  net_ = &net;
+  TBR_ENSURE(slot_index < slots_.size(), "slot out of range");
+  slots_[slot_index]->start_read(*contexts_[slot_index], std::move(done));
+}
+
+RegisterProcessBase& MuxProcess::slot(std::uint32_t index) {
+  TBR_ENSURE(index < slots_.size(), "slot out of range");
+  return *slots_[index];
+}
+
+std::uint64_t MuxProcess::local_memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& reg : slots_) bytes += reg->local_memory_bytes();
+  return bytes;
+}
+
+}  // namespace tbr

@@ -1,0 +1,65 @@
+#include "link/link_codec.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+std::string LinkCodec::encode(const Message& msg) const {
+  TBR_ENSURE(msg.type <= 1, "link codec has exactly two types");
+  TBR_ENSURE(msg.seq >= 0, "link sequence numbers are non-negative");
+  std::string out;
+  out.push_back(static_cast<char>(msg.type));  // 1 meaningful bit
+  wire::put_u64(out, static_cast<std::uint64_t>(msg.seq));
+  if (msg.type == static_cast<std::uint8_t>(LinkType::kData)) {
+    TBR_ENSURE(msg.has_value, "DATA frames carry a payload");
+    wire::put_u32(out, static_cast<std::uint32_t>(msg.value.size()));
+    out.append(msg.value.bytes());
+  } else {
+    TBR_ENSURE(!msg.has_value, "ACK frames carry no payload");
+  }
+  return out;
+}
+
+Message LinkCodec::decode(std::string_view bytes) const {
+  std::size_t pos = 0;
+  Message msg;
+  msg.type = wire::get_u8(bytes, pos);
+  TBR_ENSURE(msg.type <= 1, "bad link frame type");
+  msg.seq = static_cast<SeqNo>(wire::get_u64(bytes, pos));
+  if (msg.type == static_cast<std::uint8_t>(LinkType::kData)) {
+    const auto len = wire::get_u32(bytes, pos);
+    msg.value = Value::from_bytes(wire::get_blob(bytes, pos, len));
+    msg.has_value = true;
+  }
+  TBR_ENSURE(pos == bytes.size(), "trailing bytes in link frame");
+  msg.wire = account(msg);
+  return msg;
+}
+
+WireAccounting LinkCodec::account(const Message& msg) const {
+  WireAccounting wire;
+  // Transport header: type bit + 64-bit sequence/ack number. The payload
+  // (an encoded register-protocol frame, with its own control bits inside)
+  // is counted as link data; the ReliableLinkProcess tracks the payload's
+  // inner control bits separately so benches can report both layers.
+  wire.control_bits = kHeaderControlBits;
+  wire.data_bits = msg.has_value ? 32 + msg.value.size_bits() : 0;
+  return wire;
+}
+
+std::string LinkCodec::type_name(std::uint8_t type) const {
+  switch (static_cast<LinkType>(type)) {
+    case LinkType::kData:
+      return "LINK_DATA";
+    case LinkType::kAck:
+      return "LINK_ACK";
+  }
+  return "UNKNOWN(" + std::to_string(type) + ")";
+}
+
+const LinkCodec& link_codec() {
+  static const LinkCodec codec;
+  return codec;
+}
+
+}  // namespace tbr

@@ -1,0 +1,42 @@
+// Wire format of the reliable-link layer (src/link).
+//
+// Two frame types. DATA carries a link-local sequence number and an opaque
+// payload (one encoded frame of the register protocol riding on the link);
+// ACK carries a cumulative acknowledgement. The link header costs
+// 1 + 64 = 65 control bits per frame — *transport* control, accounted
+// separately from the register protocol's control bits (which, for the
+// two-bit algorithm, stay at 2 inside the payload). This is the same
+// separation the paper implicitly assumes: its "reliable channel" is the
+// service TCP-like machinery provides, and that machinery has its own
+// header budget.
+#pragma once
+
+#include "net/codec.hpp"
+
+namespace tbr {
+
+/// Link-layer frame types.
+enum class LinkType : std::uint8_t {
+  kData = 0,  ///< seq + opaque payload (an encoded register-protocol frame)
+  kAck = 1,   ///< cumulative acknowledgement (all seq <= msg.seq received)
+};
+
+/// Field mapping onto the shared Message struct:
+///   type  = LinkType
+///   seq   = DATA sequence number, or ACK cumulative sequence number
+///   value = DATA payload bytes (absent on ACK)
+class LinkCodec final : public Codec {
+ public:
+  std::string encode(const Message& msg) const override;
+  Message decode(std::string_view bytes) const override;
+  WireAccounting account(const Message& msg) const override;
+  std::string type_name(std::uint8_t type) const override;
+
+  /// 1 type bit + 64 sequence bits.
+  static constexpr std::uint64_t kHeaderControlBits = 65;
+};
+
+/// Shared immutable codec instance.
+const LinkCodec& link_codec();
+
+}  // namespace tbr

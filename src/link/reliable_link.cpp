@@ -1,0 +1,273 @@
+#include "link/reliable_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+// The inner register process talks to the network through this shim: its
+// sends become link payloads; everything else passes through.
+class ReliableLinkProcess::InnerContext final : public NetworkContext {
+ public:
+  explicit InnerContext(ReliableLinkProcess& link) : link_(link) {}
+
+  void send(ProcessId to, const Message& msg) override {
+    link_.link_send(to, msg);
+  }
+  ProcessId self() const override { return link_.self_; }
+  std::uint32_t process_count() const override { return link_.cfg_.n; }
+  Tick now() const override {
+    TBR_ENSURE(link_.net_ != nullptr, "inner context used before start");
+    return link_.net_->now();
+  }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    TBR_ENSURE(link_.net_ != nullptr, "inner context used before start");
+    link_.net_->schedule(delay, std::move(fn));
+  }
+
+ private:
+  ReliableLinkProcess& link_;
+};
+
+ReliableLinkProcess::ReliableLinkProcess(
+    GroupConfig cfg, ProcessId self,
+    std::unique_ptr<RegisterProcessBase> inner, LinkOptions options)
+    : RegisterProcessBase(cfg, self),
+      opts_(options),
+      inner_(std::move(inner)),
+      inner_ctx_(std::make_unique<InnerContext>(*this)),
+      peers_(cfg.n) {
+  TBR_ENSURE(inner_ != nullptr, "link needs an inner register process");
+  TBR_ENSURE(inner_->self_id() == self && inner_->config().n == cfg.n,
+             "inner process must be configured for the same (cfg, self)");
+  TBR_ENSURE(opts_.retransmit_timeout > 0, "timeout must be positive");
+  TBR_ENSURE(opts_.window >= 1, "window must be at least 1");
+}
+
+ReliableLinkProcess::~ReliableLinkProcess() = default;
+
+void ReliableLinkProcess::on_start(NetworkContext& net) {
+  net_ = &net;
+  inner_->on_start(*inner_ctx_);
+}
+
+void ReliableLinkProcess::start_write(NetworkContext& net, Value v,
+                                      WriteDone done) {
+  net_ = &net;
+  inner_->start_write(*inner_ctx_, std::move(v), std::move(done));
+}
+
+void ReliableLinkProcess::start_read(NetworkContext& net, ReadDone done) {
+  net_ = &net;
+  inner_->start_read(*inner_ctx_, std::move(done));
+}
+
+void ReliableLinkProcess::on_crash() {
+  crashed_ = true;
+  inner_->on_crash();
+}
+
+void ReliableLinkProcess::on_message(NetworkContext& net, ProcessId from,
+                                     const Message& msg) {
+  net_ = &net;
+  TBR_ENSURE(from < peers_.size() && from != self_, "bad link sender");
+  switch (static_cast<LinkType>(msg.type)) {
+    case LinkType::kData:
+      TBR_ENSURE(msg.has_value, "DATA without payload");
+      on_data(net, from, msg.seq, msg.value.bytes());
+      break;
+    case LinkType::kAck:
+      on_ack(net, from, msg.seq);
+      break;
+  }
+}
+
+// ---- sender half -------------------------------------------------------------
+
+void ReliableLinkProcess::link_send(ProcessId to, const Message& inner_msg) {
+  TBR_ENSURE(net_ != nullptr, "send before start");
+  PeerState& peer = peers_[to];
+  if (peer.dead) return;  // membership decision already taken (max_retries)
+  // First-transmission accounting of what the register protocol itself
+  // pays, regardless of how often the link retransmits the bytes.
+  stats_.inner_control_bits += inner_msg.wire.control_bits;
+  peer.outq.push_back(inner_->codec().encode(inner_msg));
+  transmit_window(*net_, to, /*retransmit=*/false);
+  arm_timer(*net_);
+}
+
+void ReliableLinkProcess::transmit_window(NetworkContext& net, ProcessId to,
+                                          bool retransmit) {
+  PeerState& peer = peers_[to];
+  if (retransmit) {
+    // Go-Back-N: resend everything transmitted but unacked.
+    for (std::size_t k = 0; k < peer.transmitted; ++k) {
+      send_data_frame(net, to, peer.send_base + static_cast<SeqNo>(k),
+                      peer.outq[k]);
+      ++stats_.retransmit_frames;
+    }
+    return;
+  }
+  // Transmit any queued frames that now fit the window.
+  while (peer.transmitted < peer.outq.size() &&
+         peer.transmitted < opts_.window) {
+    send_data_frame(net, to, peer.send_base + static_cast<SeqNo>(peer.transmitted),
+                    peer.outq[peer.transmitted]);
+    ++peer.transmitted;
+    ++stats_.data_frames_sent;
+    peer.last_progress = net.now();
+  }
+}
+
+void ReliableLinkProcess::send_data_frame(NetworkContext& net, ProcessId to,
+                                          SeqNo seq,
+                                          const std::string& payload) {
+  Message frame;
+  frame.type = static_cast<std::uint8_t>(LinkType::kData);
+  frame.seq = seq;
+  frame.value = Value::from_bytes(payload);
+  frame.has_value = true;
+  frame.wire = link_codec().account(frame);
+  stats_.header_control_bits += LinkCodec::kHeaderControlBits;
+  net.send(to, frame);
+}
+
+void ReliableLinkProcess::send_ack(NetworkContext& net, ProcessId to,
+                                   SeqNo cumulative) {
+  // Cumulative ACK of everything below recv_next. Nothing received yet
+  // (cumulative == -1) needs no frame: the sender's timer covers it.
+  if (cumulative < 0) return;
+  Message frame;
+  frame.type = static_cast<std::uint8_t>(LinkType::kAck);
+  frame.seq = cumulative;
+  frame.wire = link_codec().account(frame);
+  ++stats_.ack_frames_sent;
+  stats_.header_control_bits += LinkCodec::kHeaderControlBits;
+  net.send(to, frame);
+}
+
+void ReliableLinkProcess::on_ack(NetworkContext& net, ProcessId from,
+                                 SeqNo cumulative) {
+  PeerState& peer = peers_[from];
+  if (peer.dead || cumulative < peer.send_base) return;  // stale ACK
+  const auto acked =
+      static_cast<std::size_t>(cumulative - peer.send_base) + 1;
+  TBR_ENSURE(acked <= peer.transmitted,
+             "peer acknowledged frames we never transmitted");
+  peer.outq.erase(peer.outq.begin(),
+                  peer.outq.begin() + static_cast<std::ptrdiff_t>(acked));
+  peer.send_base = cumulative + 1;
+  peer.transmitted -= acked;
+  peer.retries = 0;  // progress: reset the give-up counter
+  peer.last_progress = net.now();
+  transmit_window(net, from, /*retransmit=*/false);
+  if (peer_has_inflight(peer)) arm_timer(net);
+}
+
+// ---- receiver half -----------------------------------------------------------
+
+void ReliableLinkProcess::on_data(NetworkContext& net, ProcessId from,
+                                  SeqNo seq, const std::string& payload) {
+  PeerState& peer = peers_[from];
+  if (seq < peer.recv_next) {
+    // Duplicate (retransmission raced our ACK, or our ACK was lost):
+    // re-ACK so the sender can advance, deliver nothing.
+    ++stats_.duplicates_received;
+    send_ack(net, from, peer.recv_next - 1);
+    return;
+  }
+  if (seq > peer.recv_next) {
+    // The underlying channel is not FIFO: park until the gap fills. Keyed
+    // insertion also deduplicates retransmitted out-of-order frames.
+    if (peer.ooo.emplace(seq, payload).second) ++stats_.ooo_buffered;
+    send_ack(net, from, peer.recv_next - 1);
+    return;
+  }
+  // In-order: deliver, then drain any parked successors.
+  std::string current = payload;
+  for (;;) {
+    ++peer.recv_next;
+    ++stats_.payloads_delivered;
+    const Message inner_msg = inner_->codec().decode(current);
+    if (!crashed_) inner_->on_message(*inner_ctx_, from, inner_msg);
+    const auto it = peer.ooo.find(peer.recv_next);
+    if (it == peer.ooo.end()) break;
+    current = std::move(it->second);
+    peer.ooo.erase(it);
+  }
+  send_ack(net, from, peer.recv_next - 1);
+}
+
+// ---- retransmission timer ------------------------------------------------------
+
+bool ReliableLinkProcess::peer_has_inflight(const PeerState& peer) const {
+  return !peer.dead && peer.transmitted > 0;
+}
+
+void ReliableLinkProcess::arm_timer(NetworkContext& net) {
+  if (timer_armed_ || crashed_) return;
+  bool any = false;
+  for (const PeerState& peer : peers_) {
+    if (peer_has_inflight(peer)) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  timer_armed_ = true;
+  net.schedule(opts_.retransmit_timeout, [this] { on_timer(); });
+}
+
+void ReliableLinkProcess::on_timer() {
+  timer_armed_ = false;
+  if (crashed_) return;
+  TBR_ENSURE(net_ != nullptr, "timer before start");
+  for (ProcessId to = 0; to < peers_.size(); ++to) {
+    PeerState& peer = peers_[to];
+    if (!peer_has_inflight(peer)) continue;
+    if (net_->now() - peer.last_progress < opts_.retransmit_timeout) {
+      continue;  // acks are still flowing; no need to go back
+    }
+    ++peer.retries;
+    if (opts_.max_retries != 0 && peer.retries > opts_.max_retries) {
+      // Give up on this peer (deployment-level membership decision; see
+      // LinkOptions::max_retries). Its stream is purged; quorum liveness
+      // never needed it if it truly crashed.
+      peer.dead = true;
+      peer.outq.clear();
+      peer.transmitted = 0;
+      ++stats_.peers_declared_dead;
+      continue;
+    }
+    transmit_window(*net_, to, /*retransmit=*/true);
+  }
+  arm_timer(*net_);
+}
+
+// ---- accounting ---------------------------------------------------------------
+
+std::uint64_t ReliableLinkProcess::local_memory_bytes() const {
+  std::uint64_t bytes = inner_->local_memory_bytes();
+  for (const PeerState& peer : peers_) {
+    bytes += sizeof(PeerState);
+    for (const std::string& frame : peer.outq) bytes += frame.size();
+    for (const auto& [seq, frame] : peer.ooo) {
+      bytes += sizeof(seq) + frame.size();
+    }
+  }
+  return bytes;
+}
+
+std::size_t ReliableLinkProcess::queued_to(ProcessId peer) const {
+  TBR_ENSURE(peer < peers_.size(), "peer out of range");
+  return peers_[peer].outq.size();
+}
+
+bool ReliableLinkProcess::peer_dead(ProcessId peer) const {
+  TBR_ENSURE(peer < peers_.size(), "peer out of range");
+  return peers_[peer].dead;
+}
+
+}  // namespace tbr

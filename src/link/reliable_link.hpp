@@ -1,0 +1,140 @@
+// ReliableLinkProcess: a retransmitting transport decorator.
+//
+// Experiment D8 (bench_model_boundary) shows what happens when the CAMP
+// model's "reliable channel" assumption is violated: one lost WRITE frame
+// permanently wedges that pair's alternating-bit stream. This module is the
+// constructive answer — the classic alternating-bit/sliding-window
+// retransmission machinery (the paper's own reference [6] lineage) layered
+// *below* any register protocol, restoring the reliable-channel abstraction
+// over a lossy network.
+//
+// Protocol: per-peer Go-Back-N with cumulative ACKs and receiver-side
+// out-of-order buffering (the underlying network is not FIFO), duplicate
+// suppression by sequence number, and a single per-process retransmission
+// timer. Payloads are opaque encoded frames of the inner register protocol;
+// the link neither inspects nor reorders committed deliveries — each peer's
+// stream is delivered to the inner process exactly once, in send order.
+//
+// The service provided to the inner process is therefore a *reliable FIFO
+// channel*, which is strictly stronger than the model's reliable non-FIFO
+// channel — every CAMP execution property is preserved (FIFO executions are
+// a subset of asynchronous executions).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "link/link_codec.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+struct LinkOptions {
+  /// Retransmission timer period. With the simulator's default Δ = 1000
+  /// ticks, 4 Δ comfortably exceeds one round trip.
+  Tick retransmit_timeout = 4000;
+
+  /// Go-Back-N window: frames in [base, base + window) may be in flight
+  /// per peer; later frames wait in a backlog.
+  std::size_t window = 32;
+
+  /// After this many consecutive timeouts with no progress, the peer is
+  /// declared dead and its queues are purged (0 = never give up). The CAMP
+  /// model cannot distinguish a crashed peer from a slow one, so this is a
+  /// *deployment* knob — it models the group-membership decision that any
+  /// real system eventually takes, and keeps simulations with crashed
+  /// peers finite. Quorum-based register liveness never depends on a dead
+  /// peer's stream.
+  std::uint32_t max_retries = 0;
+};
+
+/// Link-layer traffic counters (per process), for the D9 bench and tests.
+struct LinkStats {
+  std::uint64_t data_frames_sent = 0;       ///< first transmissions
+  std::uint64_t retransmit_frames = 0;      ///< timer-driven resends
+  std::uint64_t ack_frames_sent = 0;
+  std::uint64_t duplicates_received = 0;    ///< DATA below recv_next
+  std::uint64_t ooo_buffered = 0;           ///< DATA parked above recv_next
+  std::uint64_t payloads_delivered = 0;     ///< frames handed to the inner
+  std::uint64_t peers_declared_dead = 0;
+  /// Register-protocol control bits shipped inside payloads (first
+  /// transmissions only — what the *protocol* pays).
+  std::uint64_t inner_control_bits = 0;
+  /// Link header bits shipped, including retransmissions and ACKs (what
+  /// the *transport* pays).
+  std::uint64_t header_control_bits = 0;
+};
+
+class ReliableLinkProcess final : public RegisterProcessBase {
+ public:
+  /// Wraps `inner`, which must be a register process for the same (cfg,
+  /// self). All client operations and deliveries are forwarded; the inner
+  /// process's sends travel over the retransmitting link.
+  ReliableLinkProcess(GroupConfig cfg, ProcessId self,
+                      std::unique_ptr<RegisterProcessBase> inner,
+                      LinkOptions options = LinkOptions());
+  ~ReliableLinkProcess() override;
+
+  // ---- RegisterProcessBase -----------------------------------------------
+  void on_start(NetworkContext& net) override;
+  void start_write(NetworkContext& net, Value v, WriteDone done) override;
+  void start_read(NetworkContext& net, ReadDone done) override;
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+  std::uint64_t local_memory_bytes() const override;
+  const Codec& codec() const override { return link_codec(); }
+
+  // ---- introspection -------------------------------------------------------
+  RegisterProcessBase& inner() noexcept { return *inner_; }
+  const RegisterProcessBase& inner() const noexcept { return *inner_; }
+  const LinkStats& link_stats() const noexcept { return stats_; }
+  /// Frames queued (in flight + backlog) toward `peer`.
+  std::size_t queued_to(ProcessId peer) const;
+  bool peer_dead(ProcessId peer) const;
+
+ private:
+  class InnerContext;
+
+  struct PeerState {
+    // Sender half. outq holds encoded payloads for seqs
+    // [send_base, send_base + outq.size()); the first `transmitted`
+    // entries have been sent at least once.
+    SeqNo send_base = 0;
+    std::deque<std::string> outq;
+    std::size_t transmitted = 0;
+    std::uint32_t retries = 0;
+    Tick last_progress = 0;  ///< last transmit of new data or base advance
+    bool dead = false;
+
+    // Receiver half.
+    SeqNo recv_next = 0;
+    std::map<SeqNo, std::string> ooo;
+  };
+
+  /// Inner process handed us a frame for `to`: enqueue + transmit.
+  void link_send(ProcessId to, const Message& inner_msg);
+  void transmit_window(NetworkContext& net, ProcessId to, bool retransmit);
+  void send_data_frame(NetworkContext& net, ProcessId to, SeqNo seq,
+                       const std::string& payload);
+  void send_ack(NetworkContext& net, ProcessId to, SeqNo cumulative);
+  void on_data(NetworkContext& net, ProcessId from, SeqNo seq,
+               const std::string& payload);
+  void on_ack(NetworkContext& net, ProcessId from, SeqNo cumulative);
+  void arm_timer(NetworkContext& net);
+  void on_timer();
+  bool peer_has_inflight(const PeerState& peer) const;
+
+  LinkOptions opts_;
+  std::unique_ptr<RegisterProcessBase> inner_;
+  std::unique_ptr<InnerContext> inner_ctx_;
+  std::vector<PeerState> peers_;
+  LinkStats stats_;
+  NetworkContext* net_ = nullptr;  // stable per runtime; stashed on entry
+  bool timer_armed_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace tbr

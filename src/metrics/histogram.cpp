@@ -1,0 +1,64 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/table.hpp"
+
+namespace tbr {
+
+void Histogram::add(std::int64_t sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t Histogram::min() const {
+  TBR_ENSURE(!samples_.empty(), "min of empty histogram");
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::int64_t Histogram::max() const {
+  TBR_ENSURE(!samples_.empty(), "max of empty histogram");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  TBR_ENSURE(!samples_.empty(), "mean of empty histogram");
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  TBR_ENSURE(!samples_.empty(), "percentile of empty histogram");
+  TBR_ENSURE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::string Histogram::summary(double unit, int precision) const {
+  if (samples_.empty()) return "(no samples)";
+  std::ostringstream os;
+  auto scaled = [&](std::int64_t v) {
+    return format_double(static_cast<double>(v) / unit, precision);
+  };
+  os << scaled(min()) << '/' << scaled(percentile(50.0)) << '/'
+     << scaled(percentile(99.0)) << '/' << scaled(max());
+  return os.str();
+}
+
+}  // namespace tbr

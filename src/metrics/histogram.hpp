@@ -1,0 +1,35 @@
+// Simple exact histogram over int64 samples (latencies, message counts).
+//
+// Stores all samples; the benches take at most a few hundred thousand, so
+// exactness is affordable and percentile math stays trivial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbr {
+
+class Histogram {
+ public:
+  void add(std::int64_t sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Percentile in [0,100]; nearest-rank on the sorted samples.
+  std::int64_t percentile(double p) const;
+
+  /// "min/p50/p99/max" one-liner, each divided by `unit` (e.g. delta ticks).
+  std::string summary(double unit = 1.0, int precision = 2) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tbr

@@ -1,0 +1,111 @@
+#include "modelcheck/mc_invariants.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/twobit_process.hpp"
+
+namespace tbr {
+namespace {
+
+std::string pij(const char* what, ProcessId i, ProcessId j) {
+  return std::string(what) + " (i=" + std::to_string(i) +
+         ", j=" + std::to_string(j) + ")";
+}
+
+}  // namespace
+
+std::string check_twobit_state_invariants(
+    const std::vector<const TwoBitProcess*>& ps,
+    const std::vector<McInFlightFrame>& in_flight) {
+  const auto n = static_cast<ProcessId>(ps.size());
+
+  // Lemmas 2 and 3.
+  for (ProcessId i = 0; i < n; ++i) {
+    SeqNo row_max = 0;
+    for (ProcessId j = 0; j < n; ++j) {
+      row_max = std::max(row_max, ps[i]->wsync(j));
+      if (ps[i]->wsync(i) < ps[j]->wsync(i)) {
+        return pij("Lemma 2 violated: w_sync_i[i] < w_sync_j[i]", i, j);
+      }
+    }
+    if (ps[i]->wsync(i) != row_max) {
+      return "Lemma 3 violated: w_sync_i[i] is not the row max (i=" +
+             std::to_string(i) + ")";
+    }
+  }
+
+  // Lemma 4: every local history is a prefix of the writer's. The writer
+  // is whichever process has the longest history (Lemma 3 on the writer
+  // makes that the writer in any faithful run); compare against the
+  // longest to stay writer-id-agnostic.
+  std::size_t longest = 0;
+  for (ProcessId i = 1; i < n; ++i) {
+    if (ps[i]->history().size() > ps[longest]->history().size()) longest = i;
+  }
+  const auto writer_hist = ps[longest]->history();
+  for (ProcessId i = 0; i < n; ++i) {
+    const auto hist = ps[i]->history();
+    if (static_cast<SeqNo>(hist.size()) != ps[i]->wsync(i) + 1) {
+      return "history length out of sync with w_sync_i[i] (i=" +
+             std::to_string(i) + ")";
+    }
+    for (std::size_t x = 0; x < hist.size(); ++x) {
+      if (!(hist[x] == writer_hist[x])) {
+        return "Lemma 4 violated: divergent histories at index " +
+               std::to_string(x) + " (i=" + std::to_string(i) + ")";
+      }
+    }
+  }
+
+  // Lemma 5 (frame counting, correct processes only).
+  for (ProcessId i = 0; i < n; ++i) {
+    if (ps[i]->crashed()) continue;
+    for (ProcessId j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const SeqNo x = ps[i]->wsync(j);
+      const SeqNo sent = ps[i]->write_frames_sent_to(j);
+      if (ps[i]->wsync(i) == x && sent != x) {
+        return pij("Lemma 5 R1 violated: sent != w_sync_i[j]", i, j);
+      }
+      if (ps[i]->wsync(i) != x && sent != x + 1) {
+        return pij("Lemma 5 R2 violated: sent != w_sync_i[j] + 1", i, j);
+      }
+    }
+  }
+
+  // Property P1 on the undelivered frames.
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      std::vector<SeqNo> write_indices;
+      for (const McInFlightFrame& f : in_flight) {
+        if (f.from == i && f.to == j && f.type <= 1) {
+          write_indices.push_back(f.debug_index);
+        }
+      }
+      if (write_indices.size() > 2) {
+        return pij("P1 violated: >2 WRITE frames in flight", i, j);
+      }
+      if (write_indices.size() == 2) {
+        const auto [lo, hi] =
+            std::minmax(write_indices[0], write_indices[1]);
+        if (hi != lo + 1) {
+          return pij("P1 violated: non-consecutive in-flight WRITEs", i, j);
+        }
+      }
+    }
+  }
+
+  // Property P2.
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = i + 1; j < n; ++j) {
+      if (std::llabs(ps[i]->wsync(j) - ps[j]->wsync(i)) > 1) {
+        return pij("P2 violated: pairwise drift exceeds 1", i, j);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tbr

@@ -1,0 +1,35 @@
+// State-predicate versions of the paper's lemmas for the model checker.
+//
+// The simulator's TwoBitInvariantObserver (core/invariants) throws on the
+// first violation — right for tests, wrong for an explorer that wants to
+// report *which schedule* broke *which lemma* and keep counting. These
+// functions evaluate the same predicates (Lemmas 2-5, Properties P1/P2
+// — Lemma 1's step granularity is enforced by contracts inside
+// TwoBitProcess itself) and return a description instead of throwing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace tbr {
+
+class TwoBitProcess;
+
+/// A frame awaiting delivery, as the explorer sees it.
+struct McInFlightFrame {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::uint8_t type = 0;
+  SeqNo debug_index = -1;
+};
+
+/// Evaluate the global state invariants over all processes and undelivered
+/// frames. Returns an empty string when every predicate holds, otherwise a
+/// human-readable description of the first violation.
+std::string check_twobit_state_invariants(
+    const std::vector<const TwoBitProcess*>& processes,
+    const std::vector<McInFlightFrame>& in_flight);
+
+}  // namespace tbr

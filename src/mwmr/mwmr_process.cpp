@@ -1,0 +1,175 @@
+#include "mwmr/mwmr_process.hpp"
+
+#include <utility>
+
+namespace tbr {
+
+namespace {
+constexpr SeqNo kPhaseSlots = 4;  // query / apply
+}
+
+MwmrProcess::MwmrProcess(GroupConfig cfg, ProcessId self)
+    : cfg_(std::move(cfg)),
+      self_(self),
+      codec_(abd_unbounded_spec(), cfg_.n),
+      cur_val_(cfg_.initial) {
+  cfg_.validate();
+  TBR_ENSURE(self_ < cfg_.n, "process id out of range");
+  TBR_ENSURE(cfg_.n <= kMaxGroupSize, "group too large");
+}
+
+void MwmrProcess::adopt(SeqNo ts, const Value& v) {
+  if (ts > cur_ts_) {
+    cur_ts_ = ts;
+    cur_val_ = v;
+  }
+}
+
+SeqNo MwmrProcess::phase_tag() const {
+  TBR_ENSURE(pending_.has_value(), "no operation in flight");
+  return pending_->op_tag * kPhaseSlots +
+         (pending_->phase == Phase::kQuery ? 0 : 1);
+}
+
+void MwmrProcess::start_write(NetworkContext& net, Value v, WriteDone done) {
+  TBR_ENSURE(done != nullptr, "write needs a completion callback");
+  TBR_ENSURE(!pending_.has_value(), "process is sequential");
+  PendingOp op;
+  op.is_write = true;
+  op.op_tag = ++op_counter_;
+  op.write_val = std::move(v);
+  op.best_ts = cur_ts_;
+  op.best_val = cur_val_;
+  op.wdone = std::move(done);
+  pending_ = std::move(op);
+  start_query(net);
+}
+
+void MwmrProcess::start_read(NetworkContext& net, ReadDone done) {
+  TBR_ENSURE(done != nullptr, "read needs a completion callback");
+  TBR_ENSURE(!pending_.has_value(), "process is sequential");
+  PendingOp op;
+  op.is_write = false;
+  op.op_tag = ++op_counter_;
+  op.best_ts = cur_ts_;
+  op.best_val = cur_val_;
+  op.rdone = std::move(done);
+  pending_ = std::move(op);
+  start_query(net);
+}
+
+void MwmrProcess::start_query(NetworkContext& net) {
+  PendingOp& op = *pending_;
+  op.phase = Phase::kQuery;
+  op.votes = 1;  // self: folded own state at operation start
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kPhaseReq);
+  msg.aux = phase_tag();
+  msg.wire = codec_.account(msg);
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) net.send(j, msg);
+  }
+  complete_if_quorum(net);
+}
+
+void MwmrProcess::start_apply(NetworkContext& net) {
+  PendingOp& op = *pending_;
+  op.phase = Phase::kApply;
+  op.votes = 1;
+  if (op.is_write) {
+    // The new timestamp strictly dominates everything the quorum reported.
+    op.best_ts = pack_ts(ts_seq(op.best_ts) + 1, self_);
+    op.best_val = op.write_val;
+  }
+  adopt(op.best_ts, op.best_val);  // self is one of the replicas
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kPhaseReq);
+  msg.aux = phase_tag();
+  msg.seq = op.best_ts;
+  msg.has_value = true;
+  msg.value = op.best_val;
+  msg.debug_index = op.best_ts;
+  msg.wire = codec_.account(msg);
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) net.send(j, msg);
+  }
+  complete_if_quorum(net);
+}
+
+void MwmrProcess::complete_if_quorum(NetworkContext& net) {
+  if (!pending_.has_value() || pending_->votes < cfg_.quorum()) return;
+  if (pending_->phase == Phase::kQuery) {
+    start_apply(net);
+    return;
+  }
+  PendingOp finished = std::move(*pending_);
+  pending_.reset();
+  if (finished.is_write) {
+    finished.wdone(finished.best_ts);
+  } else {
+    finished.rdone(finished.best_val, finished.best_ts);
+  }
+}
+
+void MwmrProcess::on_message(NetworkContext& net, ProcessId from,
+                             const Message& msg) {
+  TBR_ENSURE(!crashed_, "runtime delivered a message to a crashed process");
+  TBR_ENSURE(from < cfg_.n && from != self_, "bad sender");
+  switch (static_cast<PhasedType>(msg.type)) {
+    case PhasedType::kPhaseReq: {
+      if (msg.has_value) adopt(msg.seq, msg.value);
+      Message reply;
+      if (msg.has_value) {
+        reply.type = static_cast<std::uint8_t>(PhasedType::kPhaseAck);
+        reply.aux = msg.aux;
+      } else {
+        reply.type = static_cast<std::uint8_t>(PhasedType::kQueryReply);
+        reply.aux = msg.aux;
+        reply.seq = cur_ts_;
+        reply.has_value = true;
+        reply.value = cur_val_;
+      }
+      reply.wire = codec_.account(reply);
+      net.send(from, reply);
+      break;
+    }
+    case PhasedType::kPhaseAck: {
+      if (pending_.has_value() && msg.aux == phase_tag() &&
+          pending_->phase == Phase::kApply) {
+        pending_->votes += 1;
+        complete_if_quorum(net);
+      }
+      break;
+    }
+    case PhasedType::kQueryReply: {
+      TBR_ENSURE(msg.has_value, "query reply must carry replica state");
+      adopt(msg.seq, msg.value);
+      if (pending_.has_value() && msg.aux == phase_tag() &&
+          pending_->phase == Phase::kQuery) {
+        PendingOp& op = *pending_;
+        if (msg.seq > op.best_ts) {
+          op.best_ts = msg.seq;
+          op.best_val = msg.value;
+        }
+        op.votes += 1;
+        complete_if_quorum(net);
+      }
+      break;
+    }
+    default:
+      TBR_ENSURE(false, "unexpected frame type for MWMR");
+  }
+}
+
+void MwmrProcess::on_crash() { crashed_ = true; }
+
+std::uint64_t MwmrProcess::local_memory_bytes() const {
+  return 8 /*cur_ts*/ + cur_val_.size() + 8 /*op_counter*/;
+}
+
+std::unique_ptr<MwmrProcess> make_mwmr_process(GroupConfig cfg,
+                                               ProcessId self) {
+  return std::make_unique<MwmrProcess>(std::move(cfg), self);
+}
+
+}  // namespace tbr

@@ -1,0 +1,95 @@
+// Multi-writer multi-reader atomic register: the classic multi-writer ABD.
+//
+// EXTENSION beyond the paper (which is single-writer by design — its
+// alternating-bit synchronizer is inherently per-pair, per-stream): the
+// intro situates SWMR registers inside Lamport's hierarchy and the MWMR
+// constructions built on them; this module provides the standard
+// message-passing MWMR register for comparison.
+//
+// Every operation is two quorum phases:
+//   write(v): query max timestamp -> disseminate (max.seq+1, self, v)
+//   read():   query max (ts, v)   -> write back   -> return v
+// Timestamps are (seq, writer-id) pairs, packed into one SeqNo with
+// lexicographic order preserved; packed timestamps double as the unique
+// value indices the checkers key on.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "abd/phased_codec.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+/// Timestamp packing: ts = seq * kMaxGroupSize + writer id.
+inline constexpr SeqNo kMaxGroupSize = 1024;
+
+inline SeqNo pack_ts(SeqNo seq, ProcessId writer) {
+  TBR_ENSURE(writer < kMaxGroupSize, "group too large for timestamp packing");
+  return seq * kMaxGroupSize + static_cast<SeqNo>(writer);
+}
+inline SeqNo ts_seq(SeqNo ts) { return ts / kMaxGroupSize; }
+inline ProcessId ts_writer(SeqNo ts) {
+  return static_cast<ProcessId>(ts % kMaxGroupSize);
+}
+
+class MwmrProcess final : public ProcessBase {
+ public:
+  /// Writes report the packed timestamp they installed (the history index
+  /// for checking); reads report (value, packed timestamp).
+  using WriteDone = std::function<void(SeqNo ts)>;
+  using ReadDone = std::function<void(const Value& value, SeqNo ts)>;
+
+  MwmrProcess(GroupConfig cfg, ProcessId self);
+
+  /// Any process may write: that is the point of MWMR.
+  void start_write(NetworkContext& net, Value v, WriteDone done);
+  void start_read(NetworkContext& net, ReadDone done);
+
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+
+  const Codec& codec() const { return codec_; }
+  SeqNo replica_ts() const noexcept { return cur_ts_; }
+  const GroupConfig& config() const noexcept { return cfg_; }
+  bool crashed() const noexcept { return crashed_; }
+  std::uint64_t local_memory_bytes() const;
+
+ private:
+  enum class Phase { kQuery, kApply };
+  struct PendingOp {
+    bool is_write = false;
+    Phase phase = Phase::kQuery;
+    SeqNo op_tag = 0;
+    std::uint32_t votes = 0;
+    SeqNo best_ts = 0;   // query fold; then the applied timestamp
+    Value best_val;      // value being written / best value read
+    Value write_val;     // writes: the value to install after the query
+    WriteDone wdone;
+    ReadDone rdone;
+  };
+
+  void start_query(NetworkContext& net);
+  void start_apply(NetworkContext& net);
+  void complete_if_quorum(NetworkContext& net);
+  void adopt(SeqNo ts, const Value& v);
+  SeqNo phase_tag() const;
+
+  GroupConfig cfg_;
+  ProcessId self_;
+  PhasedCodec codec_;
+
+  SeqNo cur_ts_ = 0;  // packed (0 = initial value, "written by" p0)
+  Value cur_val_;
+
+  SeqNo op_counter_ = 0;
+  std::optional<PendingOp> pending_;
+  bool crashed_ = false;
+};
+
+std::unique_ptr<MwmrProcess> make_mwmr_process(GroupConfig cfg,
+                                               ProcessId self);
+
+}  // namespace tbr

@@ -1,0 +1,42 @@
+#include "net/codec.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tbr::wire {
+
+std::uint8_t get_u8(std::string_view bytes, std::size_t& pos) {
+  TBR_ENSURE(pos + 1 <= bytes.size(), "truncated frame (u8)");
+  return static_cast<std::uint8_t>(bytes[pos++]);
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t& pos) {
+  TBR_ENSURE(pos + 4 <= bytes.size(), "truncated frame (u32)");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(bytes[pos + static_cast<std::size_t>(i)]);
+  }
+  pos += 4;
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t& pos) {
+  TBR_ENSURE(pos + 8 <= bytes.size(), "truncated frame (u64)");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(bytes[pos + static_cast<std::size_t>(i)]);
+  }
+  pos += 8;
+  return v;
+}
+
+std::string get_blob(std::string_view bytes, std::size_t& pos,
+                     std::size_t len) {
+  TBR_ENSURE(pos + len <= bytes.size(), "truncated frame (blob)");
+  std::string out(bytes.substr(pos, len));
+  pos += len;
+  return out;
+}
+
+}  // namespace tbr::wire

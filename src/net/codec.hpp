@@ -1,0 +1,61 @@
+// Codec: what an algorithm's frames look like on a byte-oriented wire and
+// how many *control bits* they carry (the quantity Table 1 line 3 compares).
+//
+// Accounting convention (matches the paper's): the register value itself and
+// its length framing are data-plane bytes; everything an implementation adds
+// to coordinate — type tags, sequence numbers, bounded labels — is control.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/message.hpp"
+
+namespace tbr {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  Codec() = default;
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  /// Serialize to wire bytes.
+  virtual std::string encode(const Message& msg) const = 0;
+
+  /// Parse wire bytes; inverse of encode for all fields the codec carries.
+  /// Throws ContractViolation on malformed input.
+  virtual Message decode(std::string_view bytes) const = 0;
+
+  /// Control/data bit accounting for this frame.
+  virtual WireAccounting account(const Message& msg) const = 0;
+
+  /// Human-readable name of a type id ("WRITE0", "ACK_W", ...).
+  virtual std::string type_name(std::uint8_t type) const = 0;
+};
+
+// Shared little-endian field helpers for codec implementations.
+namespace wire {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounds-checked reads; throw ContractViolation when truncated.
+std::uint32_t get_u32(std::string_view bytes, std::size_t& pos);
+std::uint64_t get_u64(std::string_view bytes, std::size_t& pos);
+std::uint8_t get_u8(std::string_view bytes, std::size_t& pos);
+std::string get_blob(std::string_view bytes, std::size_t& pos,
+                     std::size_t len);
+
+}  // namespace wire
+
+}  // namespace tbr

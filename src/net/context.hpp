@@ -1,0 +1,47 @@
+// NetworkContext: a process's handle onto whichever runtime hosts it.
+//
+// Both runtimes (discrete-event simulator and real-thread network) implement
+// this interface, so every algorithm is written exactly once.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.hpp"
+#include "net/message.hpp"
+
+namespace tbr {
+
+class NetworkContext {
+ public:
+  virtual ~NetworkContext() = default;
+  NetworkContext() = default;
+  NetworkContext(const NetworkContext&) = delete;
+  NetworkContext& operator=(const NetworkContext&) = delete;
+
+  /// Asynchronously send `msg` to process `to` over a reliable, non-FIFO
+  /// channel (the CAMP model's channels). Self-sends are a contract error:
+  /// none of the implemented algorithms ever sends to itself.
+  virtual void send(ProcessId to, const Message& msg) = 0;
+
+  /// This process's id.
+  virtual ProcessId self() const = 0;
+
+  /// Number of processes n in the group.
+  virtual std::uint32_t process_count() const = 0;
+
+  /// Current time in ticks (virtual for the simulator, monotonic-real for
+  /// the threaded runtime). Algorithms never branch on it; operation latency
+  /// measurement does.
+  virtual Tick now() const = 0;
+
+  /// Run `fn` on this process after `delay` ticks, with the same mutual
+  /// exclusion as message handlers. Never fires once the process has
+  /// crashed. The *register algorithms* are timer-free (the CAMP model is
+  /// asynchronous and the paper's protocols never consult a clock); timers
+  /// exist for transport-layer decorators such as the retransmitting
+  /// reliable link (src/link), which sit below the model's "reliable
+  /// channel" abstraction.
+  virtual void schedule(Tick delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace tbr

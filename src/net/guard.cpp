@@ -1,0 +1,43 @@
+#include "net/guard.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+void GuardSet::park(std::string label, Predicate pred, Action action) {
+  TBR_ENSURE(pred != nullptr, "guard needs a predicate");
+  TBR_ENSURE(action != nullptr, "guard needs an action");
+  guards_.push_back({std::move(label), std::move(pred), std::move(action)});
+}
+
+void GuardSet::poll() {
+  if (polling_) return;  // the outermost poll's loop will pick up changes
+  polling_ = true;
+  bool fired = true;
+  std::size_t rounds = 0;
+  while (fired) {
+    fired = false;
+    // Scan by index: actions may push_back new guards.
+    for (std::size_t i = 0; i < guards_.size(); ++i) {
+      if (!guards_[i].pred()) continue;
+      Guard g = std::move(guards_[i]);
+      guards_.erase(guards_.begin() + static_cast<std::ptrdiff_t>(i));
+      g.action();
+      fired = true;
+      break;  // restart the scan: the action may have changed anything
+    }
+    TBR_ENSURE(++rounds < 1'000'000, "guard poll did not reach a fixpoint");
+  }
+  polling_ = false;
+}
+
+std::vector<std::string> GuardSet::pending_labels() const {
+  std::vector<std::string> out;
+  out.reserve(guards_.size());
+  for (const auto& g : guards_) out.push_back(g.label);
+  return out;
+}
+
+}  // namespace tbr

@@ -1,0 +1,48 @@
+// GuardSet: predicate-parked continuations.
+//
+// The paper's pseudocode blocks inside handlers on conditions such as
+// "wait(z >= n-t ...)" (Fig. 1, lines 3, 7, 9, 11, 20). In an event-driven
+// process, each such wait becomes a *guard*: a (predicate, action) pair that
+// fires once, the first time the predicate is observed true after a state
+// change. Algorithms call poll() after every mutation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tbr {
+
+class GuardSet {
+ public:
+  using Predicate = std::function<bool()>;
+  using Action = std::function<void()>;
+
+  /// Park `action` until `pred` holds. `label` names the wait for
+  /// diagnostics ("write-quorum", "read-proceed-quorum", ...).
+  /// If the predicate already holds the action still only runs at the next
+  /// poll(), keeping execution order independent of registration timing.
+  void park(std::string label, Predicate pred, Action action);
+
+  /// Run every guard whose predicate holds, to fixpoint. Actions may park
+  /// new guards or mutate state that satisfies other guards; nested poll()
+  /// calls are coalesced into the outermost loop.
+  void poll();
+
+  std::size_t pending() const noexcept { return guards_.size(); }
+
+  /// Labels of currently parked guards (diagnostics/tests).
+  std::vector<std::string> pending_labels() const;
+
+ private:
+  struct Guard {
+    std::string label;
+    Predicate pred;
+    Action action;
+  };
+  std::vector<Guard> guards_;
+  bool polling_ = false;
+};
+
+}  // namespace tbr

@@ -1,0 +1,32 @@
+// ProcessBase: the event-driven unit both runtimes schedule.
+//
+// Handlers run one at a time per process (the model's processes are
+// sequential); the runtime guarantees mutual exclusion, so implementations
+// need no internal locking.
+#pragma once
+
+#include "net/context.hpp"
+
+namespace tbr {
+
+class ProcessBase {
+ public:
+  virtual ~ProcessBase() = default;
+  ProcessBase() = default;
+  ProcessBase(const ProcessBase&) = delete;
+  ProcessBase& operator=(const ProcessBase&) = delete;
+
+  /// Called once before any message is delivered.
+  virtual void on_start(NetworkContext& net) { (void)net; }
+
+  /// Deliver one message from `from`. The paper's `wait(pred)` statements
+  /// are implemented by parking work until a later state change, never by
+  /// blocking the handler.
+  virtual void on_message(NetworkContext& net, ProcessId from,
+                          const Message& msg) = 0;
+
+  /// The process has crashed: it will receive no further events.
+  virtual void on_crash() {}
+};
+
+}  // namespace tbr

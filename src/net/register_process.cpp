@@ -1,0 +1,25 @@
+#include "net/register_process.hpp"
+
+#include <string>
+
+namespace tbr {
+
+RegisterProcessBase::RegisterProcessBase(GroupConfig cfg, ProcessId self)
+    : cfg_(std::move(cfg)), self_(self) {
+  cfg_.validate();
+  TBR_ENSURE(self_ < cfg_.n, "process id out of range");
+}
+
+void RegisterProcessBase::begin_operation(const char* what) {
+  TBR_ENSURE(!op_in_progress_,
+             std::string("process is sequential: cannot start ") + what +
+                 " with an operation in flight");
+  op_in_progress_ = true;
+}
+
+void RegisterProcessBase::end_operation() {
+  TBR_ENSURE(op_in_progress_, "no operation in flight");
+  op_in_progress_ = false;
+}
+
+}  // namespace tbr

@@ -1,0 +1,37 @@
+#include "runtime/mailbox.hpp"
+
+namespace tbr {
+
+bool Mailbox::push(Envelope env) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Envelope> Mailbox::pop(std::stop_token st) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, st, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // stopped or closed
+  Envelope env = std::move(queue_.front());
+  queue_.pop_front();
+  return env;
+}
+
+void Mailbox::close() {
+  {
+    const std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::depth() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace tbr

@@ -1,0 +1,76 @@
+// Mailbox: the per-process event queue of the threaded runtime.
+//
+// Exactly one consumer (the process's own thread) pops envelopes; any thread
+// may push. Blocking pop integrates with jthread stop tokens so shutdown
+// never hangs (Core Guidelines CP.42: always wait with a condition).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <variant>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+#include "net/message.hpp"
+
+namespace tbr {
+
+/// A message delivery.
+struct DeliverEnvelope {
+  ProcessId from = kNoProcess;
+  std::string encoded;  ///< wire bytes; decoded by the recipient's codec
+};
+
+/// Client request: start a write on this (writer) process.
+struct WriteEnvelope {
+  Value value;
+  std::shared_ptr<std::promise<Tick>> done;  ///< resolves with latency (ns)
+};
+
+/// Client request: start a read on this process.
+struct ReadResultT {
+  Value value;
+  SeqNo index = -1;
+  Tick latency = 0;
+};
+struct ReadEnvelope {
+  std::shared_ptr<std::promise<ReadResultT>> done;
+};
+
+/// Crash marker: the process stops handling everything at this point.
+struct CrashEnvelope {};
+
+/// Timer expiry (NetworkContext::schedule): run `fn` on the process thread.
+struct TimerEnvelope {
+  std::function<void()> fn;
+};
+
+using Envelope = std::variant<DeliverEnvelope, WriteEnvelope, ReadEnvelope,
+                              CrashEnvelope, TimerEnvelope>;
+
+class Mailbox {
+ public:
+  /// Enqueue; returns false if the box has been closed (shutdown).
+  bool push(Envelope env);
+
+  /// Block until an envelope is available or stop is requested / box closed.
+  std::optional<Envelope> pop(std::stop_token st);
+
+  /// Wake consumers and reject further pushes.
+  void close();
+
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tbr

@@ -1,0 +1,300 @@
+#include "runtime/thread_network.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace tbr {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- ProcessHost: one process, its mailbox, its thread ----------------------
+
+class ThreadNetwork::ProcessHost final : public NetworkContext {
+ public:
+  ProcessHost(ThreadNetwork& net, ProcessId pid,
+              std::unique_ptr<RegisterProcessBase> proc)
+      : net_(net), pid_(pid), proc_(std::move(proc)) {}
+
+  // NetworkContext (called from the process thread inside handlers).
+  void send(ProcessId to, const Message& msg) override {
+    net_.dispatch(pid_, to, msg);
+  }
+  ProcessId self() const override { return pid_; }
+  std::uint32_t process_count() const override { return net_.cfg_.n; }
+  Tick now() const override { return net_.now(); }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    net_.schedule_timer(pid_, delay, std::move(fn));
+  }
+
+  Mailbox& mailbox() noexcept { return mailbox_; }
+  RegisterProcessBase& process() noexcept { return *proc_; }
+  bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  void run(std::stop_token st) {
+    while (auto env = mailbox_.pop(st)) {
+      handle(std::move(*env));
+    }
+  }
+
+ private:
+  void handle(Envelope env) {
+    if (crashed()) {
+      fail_if_request(env);
+      return;
+    }
+    std::visit(
+        [this](auto&& e) { this->handle_one(std::forward<decltype(e)>(e)); },
+        std::move(env));
+  }
+
+  static void fail_if_request(Envelope& env) {
+    auto reject = [](auto& done) {
+      done->set_exception(std::make_exception_ptr(
+          std::runtime_error("process has crashed")));
+    };
+    if (auto* w = std::get_if<WriteEnvelope>(&env)) reject(w->done);
+    if (auto* r = std::get_if<ReadEnvelope>(&env)) reject(r->done);
+  }
+
+  void handle_one(DeliverEnvelope e) {
+    const Message msg = proc_->codec().decode(e.encoded);
+    proc_->on_message(*this, e.from, msg);
+  }
+
+  void handle_one(WriteEnvelope e) {
+    const Tick start = net_.now();
+    auto done = std::move(e.done);
+    pending_write_ = done;
+    proc_->start_write(*this, std::move(e.value),
+                       [this, done, start]() mutable {
+                         pending_write_.reset();
+                         done->set_value(net_.now() - start);
+                       });
+  }
+
+  void handle_one(ReadEnvelope e) {
+    const Tick start = net_.now();
+    auto done = std::move(e.done);
+    pending_read_ = done;
+    proc_->start_read(*this, [this, done, start](const Value& v,
+                                                 SeqNo index) mutable {
+      pending_read_.reset();
+      done->set_value(ReadResultT{v, index, net_.now() - start});
+    });
+  }
+
+  void handle_one(CrashEnvelope) {
+    crashed_.store(true, std::memory_order_release);
+    proc_->on_crash();
+    // The model says a faulty process's last operation may never take
+    // effect (§2.2); its *client* still must not wait forever. Fail the
+    // in-flight op's future — the algorithm will never complete it.
+    auto fail = [](auto& pending) {
+      if (pending) {
+        pending->set_exception(std::make_exception_ptr(
+            std::runtime_error("process has crashed")));
+        pending.reset();
+      }
+    };
+    fail(pending_write_);
+    fail(pending_read_);
+  }
+
+  void handle_one(TimerEnvelope e) {
+    if (e.fn) e.fn();
+  }
+
+  ThreadNetwork& net_;
+  ProcessId pid_;
+  std::unique_ptr<RegisterProcessBase> proc_;
+  Mailbox mailbox_;
+  std::atomic<bool> crashed_{false};
+  // In-flight client operation promises (loop thread only): resolved by
+  // the completion callback or failed by a crash, whichever comes first.
+  std::shared_ptr<std::promise<Tick>> pending_write_;
+  std::shared_ptr<std::promise<ReadResultT>> pending_read_;
+};
+
+// ---- ThreadNetwork -----------------------------------------------------------
+
+ThreadNetwork::ThreadNetwork(Options options)
+    : cfg_(options.cfg),
+      opt_(options),
+      delay_rng_(options.seed ^ 0xD15417C4E5ULL),
+      epoch_(Clock::now()) {
+  cfg_.validate();
+  TBR_ENSURE(opt_.min_delay_us <= opt_.max_delay_us,
+             "need min_delay <= max_delay");
+  hosts_.reserve(cfg_.n);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    auto proc = opt_.process_factory
+                    ? opt_.process_factory(cfg_, pid)
+                    : make_register_process(opt_.algo, cfg_, pid);
+    hosts_.push_back(std::make_unique<ProcessHost>(*this, pid,
+                                                   std::move(proc)));
+  }
+}
+
+ThreadNetwork::~ThreadNetwork() { stop(); }
+
+Tick ThreadNetwork::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+void ThreadNetwork::start() {
+  TBR_ENSURE(!stopped_, "network cannot be restarted");
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(cfg_.n + 1);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    threads_.emplace_back(
+        [host = hosts_[pid].get()](std::stop_token st) { host->run(st); });
+  }
+  threads_.emplace_back(
+      [this](std::stop_token st) { dispatcher_loop(st); });
+}
+
+void ThreadNetwork::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& host : hosts_) host->mailbox().close();
+  dispatch_cv_.notify_all();
+  for (auto& th : threads_) th.request_stop();
+  threads_.clear();  // jthread joins on destruction
+}
+
+void ThreadNetwork::dispatch(ProcessId from, ProcessId to,
+                             const Message& msg) {
+  TBR_ENSURE(to < cfg_.n && to != from, "bad destination");
+  {
+    const std::scoped_lock lock(stats_mu_);
+    stats_.record_send(msg.type, msg.wire);
+    if (hosts_[to]->crashed()) {
+      stats_.record_drop(msg.type);
+      return;
+    }
+  }
+  std::string encoded = hosts_[from]->process().codec().encode(msg);
+  {
+    const std::scoped_lock lock(dispatch_mu_);
+    const Tick jitter_us = opt_.max_delay_us == 0
+                               ? 0
+                               : delay_rng_.uniform(opt_.min_delay_us,
+                                                    opt_.max_delay_us);
+    PendingFrame frame;
+    frame.release_at = now() + jitter_us * 1000;
+    frame.seq = frame_seq_++;
+    frame.from = from;
+    frame.to = to;
+    frame.encoded = std::move(encoded);
+    frame_heap_.push_back(std::move(frame));
+    std::push_heap(frame_heap_.begin(), frame_heap_.end(),
+                   std::greater<>{});
+  }
+  dispatch_cv_.notify_one();
+}
+
+void ThreadNetwork::schedule_timer(ProcessId pid, Tick delay,
+                                   std::function<void()> fn) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  TBR_ENSURE(delay > 0, "timer delay must be positive");
+  {
+    const std::scoped_lock lock(dispatch_mu_);
+    PendingFrame frame;
+    frame.release_at = now() + delay;
+    frame.seq = frame_seq_++;
+    frame.from = pid;
+    frame.to = pid;
+    frame.timer = std::move(fn);
+    frame_heap_.push_back(std::move(frame));
+    std::push_heap(frame_heap_.begin(), frame_heap_.end(), std::greater<>{});
+  }
+  dispatch_cv_.notify_one();
+}
+
+void ThreadNetwork::dispatcher_loop(std::stop_token st) {
+  std::unique_lock lock(dispatch_mu_);
+  while (!st.stop_requested()) {
+    if (frame_heap_.empty()) {
+      dispatch_cv_.wait(lock, st, [this] { return !frame_heap_.empty(); });
+      if (st.stop_requested()) return;
+      continue;
+    }
+    const Tick release_at = frame_heap_.front().release_at;
+    const Tick current = now();
+    if (current < release_at) {
+      dispatch_cv_.wait_for(
+          lock, st, std::chrono::nanoseconds(release_at - current),
+          [this, release_at] {
+            return !frame_heap_.empty() &&
+                   frame_heap_.front().release_at < release_at;
+          });
+      continue;
+    }
+    std::pop_heap(frame_heap_.begin(), frame_heap_.end(), std::greater<>{});
+    PendingFrame frame = std::move(frame_heap_.back());
+    frame_heap_.pop_back();
+    lock.unlock();
+    if (frame.timer) {
+      // Timer expiry: runs on the owning process's thread like any handler;
+      // the crashed check in ProcessHost::handle suppresses it post-crash.
+      hosts_[frame.to]->mailbox().push(TimerEnvelope{std::move(frame.timer)});
+    } else {
+      const bool delivered = hosts_[frame.to]->mailbox().push(
+          DeliverEnvelope{frame.from, std::move(frame.encoded)});
+      if (!delivered || hosts_[frame.to]->crashed()) {
+        const std::scoped_lock slock(stats_mu_);
+        // type is inside the encoding; account the drop generically as 0.
+        stats_.record_drop(0);
+      }
+    }
+    lock.lock();
+  }
+}
+
+std::future<Tick> ThreadNetwork::write(Value v) {
+  TBR_ENSURE(started_, "start() the network first");
+  auto promise = std::make_shared<std::promise<Tick>>();
+  auto future = promise->get_future();
+  WriteEnvelope env{std::move(v), promise};
+  if (!hosts_[cfg_.writer]->mailbox().push(std::move(env))) {
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("network is shut down")));
+  }
+  return future;
+}
+
+std::future<ThreadNetwork::ReadResult> ThreadNetwork::read(ProcessId reader) {
+  TBR_ENSURE(started_, "start() the network first");
+  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
+  auto promise = std::make_shared<std::promise<ReadResult>>();
+  auto future = promise->get_future();
+  ReadEnvelope env{promise};
+  if (!hosts_[reader]->mailbox().push(std::move(env))) {
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("network is shut down")));
+  }
+  return future;
+}
+
+void ThreadNetwork::crash(ProcessId pid) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  hosts_[pid]->mailbox().push(CrashEnvelope{});
+}
+
+bool ThreadNetwork::crashed(ProcessId pid) const {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  return hosts_[pid]->crashed();
+}
+
+MessageStats ThreadNetwork::stats_snapshot() const {
+  const std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace tbr

@@ -1,0 +1,111 @@
+// ThreadNetwork: the register group on real threads.
+//
+// One jthread + mailbox per process (handlers are single-threaded per
+// process, as the model requires); one dispatcher jthread that holds every
+// in-flight frame until its randomized release time, providing genuine
+// asynchrony and reordering. Frames are round-tripped through the
+// algorithm's codec — what travels between threads is the wire encoding.
+//
+// Client API is future-based; any thread may call write()/read()/crash().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/message_stats.hpp"
+#include "net/register_process.hpp"
+#include "runtime/mailbox.hpp"
+#include "workload/algorithms.hpp"
+
+namespace tbr {
+
+class ThreadNetwork {
+ public:
+  struct Options {
+    GroupConfig cfg;
+    Algorithm algo = Algorithm::kTwoBit;
+    std::uint64_t seed = 1;
+    /// Uniform per-frame artificial delay before delivery, in microseconds.
+    /// max > min enables reordering; {0,0} is "as fast as possible".
+    std::uint32_t min_delay_us = 0;
+    std::uint32_t max_delay_us = 200;
+    /// Optional override: build each process yourself (e.g. wrap in a
+    /// ReliableLinkProcess). When set, `algo` is informational.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        process_factory;
+  };
+
+  explicit ThreadNetwork(Options options);
+  ~ThreadNetwork();
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  /// Launch all process threads and the dispatcher. Idempotent.
+  void start();
+  /// Stop threads and reject further work. Idempotent; called by ~.
+  void stop();
+
+  /// Asynchronous write from the writer process; future resolves with the
+  /// operation latency (ns) or throws if the writer crashed.
+  std::future<Tick> write(Value v);
+
+  using ReadResult = ReadResultT;
+  /// Asynchronous read at `reader`.
+  std::future<ReadResult> read(ProcessId reader);
+
+  /// Crash a process: it handles nothing after the marker is processed.
+  void crash(ProcessId pid);
+  bool crashed(ProcessId pid) const;
+
+  MessageStats stats_snapshot() const;
+  const GroupConfig& config() const noexcept { return cfg_; }
+  Tick now() const;  ///< ns since network construction
+
+ private:
+  class ProcessHost;
+  struct PendingFrame {
+    Tick release_at = 0;
+    std::uint64_t seq = 0;
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    std::string encoded;
+    /// Set => this entry is a timer expiry for `to`, not a frame.
+    std::function<void()> timer;
+    bool operator>(const PendingFrame& other) const {
+      if (release_at != other.release_at) return release_at > other.release_at;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(ProcessId from, ProcessId to, const Message& msg);
+  void schedule_timer(ProcessId pid, Tick delay, std::function<void()> fn);
+  void dispatcher_loop(std::stop_token st);
+
+  GroupConfig cfg_;
+  Options opt_;
+  std::vector<std::unique_ptr<ProcessHost>> hosts_;
+
+  // Dispatcher state.
+  mutable std::mutex dispatch_mu_;
+  std::condition_variable_any dispatch_cv_;
+  std::vector<PendingFrame> frame_heap_;  // min-heap via std::push_heap
+  std::uint64_t frame_seq_ = 0;
+  Rng delay_rng_;
+
+  mutable std::mutex stats_mu_;
+  MessageStats stats_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::jthread> threads_;  // processes + dispatcher
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace tbr

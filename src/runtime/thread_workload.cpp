@@ -1,0 +1,93 @@
+#include "runtime/thread_workload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace tbr {
+
+ThreadWorkloadResult run_thread_workload(const ThreadWorkloadOptions& options) {
+  GroupConfig cfg = options.cfg;
+  cfg.validate();
+  TBR_ENSURE(options.crashes <= cfg.t,
+             "workload cannot crash more than t processes");
+
+  ThreadNetwork::Options net_opt;
+  net_opt.cfg = cfg;
+  net_opt.algo = options.algo;
+  net_opt.seed = options.seed;
+  net_opt.min_delay_us = options.min_delay_us;
+  net_opt.max_delay_us = options.max_delay_us;
+  ThreadNetwork net(net_opt);
+  net.start();
+
+  HistoryLog log;
+  std::vector<std::atomic<std::uint32_t>> completed(cfg.n);
+  std::vector<ProcessId> victims;
+  {
+    ProcessId pid = cfg.n;
+    while (victims.size() < options.crashes) {
+      TBR_ENSURE(pid > 0, "ran out of crash victims");
+      --pid;
+      if (pid == cfg.writer) continue;
+      victims.push_back(pid);
+    }
+  }
+
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(cfg.n + 1);
+
+    for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+      clients.emplace_back([&, pid] {
+        Rng rng(options.seed ^ (0x9E37ULL * (pid + 1)));
+        for (std::uint32_t k = 0; k < options.ops_per_process; ++k) {
+          const bool is_writer = (pid == cfg.writer);
+          try {
+            if (is_writer) {
+              const SeqNo index = static_cast<SeqNo>(k) + 1;
+              Value v = Value::from_int64(index);
+              const auto id = log.begin_write(pid, net.now(), index, v);
+              net.write(std::move(v)).get();
+              log.end_write(id, net.now());
+            } else {
+              const auto id = log.begin_read(pid, net.now());
+              auto result = net.read(pid).get();
+              log.end_read(id, net.now(), result.value, result.index);
+            }
+          } catch (const std::runtime_error&) {
+            break;  // our process crashed mid-operation
+          }
+          completed[pid].fetch_add(1, std::memory_order_relaxed);
+          const auto think = rng.uniform(0, 200);
+          std::this_thread::sleep_for(std::chrono::microseconds(think));
+        }
+      });
+    }
+
+    if (!victims.empty()) {
+      clients.emplace_back([&] {
+        // Let the workload get going, then take the victims down.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        for (const ProcessId pid : victims) net.crash(pid);
+      });
+    }
+  }  // join all clients
+
+  ThreadWorkloadResult result;
+  result.ops = log.ops();
+  result.stats = net.stats_snapshot();
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    if (net.crashed(pid)) continue;
+    result.quota_of_correct += options.ops_per_process;
+    result.completed_by_correct +=
+        completed[pid].load(std::memory_order_relaxed);
+  }
+  net.stop();
+  return result;
+}
+
+}  // namespace tbr

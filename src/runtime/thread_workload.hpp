@@ -1,0 +1,39 @@
+// Closed-loop workload over the threaded runtime: real concurrency, real
+// clocks, the same atomicity checking as the simulator workloads.
+#pragma once
+
+#include <vector>
+
+#include "checker/history.hpp"
+#include "checker/swmr_checker.hpp"
+#include "runtime/thread_network.hpp"
+
+namespace tbr {
+
+struct ThreadWorkloadOptions {
+  GroupConfig cfg;
+  Algorithm algo = Algorithm::kTwoBit;
+  std::uint64_t seed = 1;
+
+  std::uint32_t ops_per_process = 32;
+  /// Artificial network delay range (reordering pressure), microseconds.
+  std::uint32_t min_delay_us = 0;
+  std::uint32_t max_delay_us = 300;
+  /// Processes to crash (<= cfg.t, never the writer) partway through.
+  std::uint32_t crashes = 0;
+};
+
+struct ThreadWorkloadResult {
+  std::vector<OpRecord> ops;
+  MessageStats stats;
+  std::uint32_t completed_by_correct = 0;
+  std::uint32_t quota_of_correct = 0;
+
+  CheckResult check_atomicity(const Value& initial) const {
+    return SwmrChecker::check(ops, initial);
+  }
+};
+
+ThreadWorkloadResult run_thread_workload(const ThreadWorkloadOptions& options);
+
+}  // namespace tbr

@@ -1,0 +1,91 @@
+#include "sim/delay_model.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+ConstantDelay::ConstantDelay(Tick delta) : delta_(delta) {
+  TBR_ENSURE(delta_ > 0, "delay must be positive");
+}
+
+Tick ConstantDelay::delay(Rng&, ProcessId, ProcessId, const Message&) {
+  return delta_;
+}
+
+UniformDelay::UniformDelay(Tick lo, Tick hi) : lo_(lo), hi_(hi) {
+  TBR_ENSURE(lo_ > 0 && lo_ <= hi_, "need 0 < lo <= hi");
+}
+
+Tick UniformDelay::delay(Rng& rng, ProcessId, ProcessId, const Message&) {
+  return rng.uniform(lo_, hi_);
+}
+
+ExponentialDelay::ExponentialDelay(Tick mean, Tick cap)
+    : mean_(mean), cap_(cap) {
+  TBR_ENSURE(mean_ > 0 && cap_ >= mean_, "need 0 < mean <= cap");
+}
+
+Tick ExponentialDelay::delay(Rng& rng, ProcessId, ProcessId, const Message&) {
+  return 1 + rng.exponential(static_cast<double>(mean_), cap_ - 1);
+}
+
+FlipFlopDelay::FlipFlopDelay(Tick fast, Tick slow, std::uint32_t n)
+    : fast_(fast), slow_(slow), n_(n), flip_(std::size_t{n} * n, false) {
+  TBR_ENSURE(0 < fast_ && fast_ < slow_, "need 0 < fast < slow");
+  TBR_ENSURE(n_ > 0, "need at least one process");
+}
+
+Tick FlipFlopDelay::delay(Rng&, ProcessId from, ProcessId to, const Message&) {
+  const std::size_t ch = std::size_t{from} * n_ + to;
+  TBR_ENSURE(ch < flip_.size(), "channel index out of range");
+  const bool slow_now = flip_[ch];
+  flip_[ch] = !slow_now;
+  // First message on a channel goes slow, the next fast: the fast one
+  // overtakes whenever they are < (slow - fast) ticks apart.
+  return slow_now ? fast_ : slow_;
+}
+
+StragglerDelay::StragglerDelay(ProcessId straggler, Tick slow, Tick fast)
+    : straggler_(straggler), slow_(slow), fast_(fast) {
+  TBR_ENSURE(0 < fast_ && fast_ <= slow_, "need 0 < fast <= slow");
+}
+
+Tick StragglerDelay::delay(Rng&, ProcessId from, ProcessId to,
+                           const Message&) {
+  return (from == straggler_ || to == straggler_) ? slow_ : fast_;
+}
+
+std::unique_ptr<DelayModel> make_constant_delay(Tick delta) {
+  return std::make_unique<ConstantDelay>(delta);
+}
+std::unique_ptr<DelayModel> make_uniform_delay(Tick lo, Tick hi) {
+  return std::make_unique<UniformDelay>(lo, hi);
+}
+std::unique_ptr<DelayModel> make_exponential_delay(Tick mean, Tick cap) {
+  return std::make_unique<ExponentialDelay>(mean, cap);
+}
+std::unique_ptr<DelayModel> make_flipflop_delay(Tick fast, Tick slow,
+                                                std::uint32_t n) {
+  return std::make_unique<FlipFlopDelay>(fast, slow, n);
+}
+std::unique_ptr<DelayModel> make_straggler_delay(ProcessId straggler,
+                                                 Tick slow, Tick fast) {
+  return std::make_unique<StragglerDelay>(straggler, slow, fast);
+}
+
+FrameDelay::FrameDelay(Fn fn) : fn_(std::move(fn)) {
+  TBR_ENSURE(fn_ != nullptr, "FrameDelay needs a function");
+}
+
+Tick FrameDelay::delay(Rng&, ProcessId from, ProcessId to,
+                       const Message& msg) {
+  const Tick d = fn_(from, to, msg);
+  TBR_ENSURE(d > 0, "frame delay must be positive");
+  return d;
+}
+
+std::unique_ptr<DelayModel> make_frame_delay(FrameDelay::Fn fn) {
+  return std::make_unique<FrameDelay>(std::move(fn));
+}
+
+}  // namespace tbr

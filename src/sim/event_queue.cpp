@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+EventQueue::EventId EventQueue::schedule(Tick at, Fn fn) {
+  TBR_ENSURE(fn != nullptr, "cannot schedule a null event");
+  TBR_ENSURE(at >= 0, "event time must be non-negative");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  return id;
+}
+
+Tick EventQueue::next_time() const {
+  return heap_.empty() ? kNever : heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::run_next() {
+  TBR_ENSURE(!heap_.empty(), "run_next on empty queue");
+  // priority_queue::top is const; move out via const_cast of the handle we
+  // are about to pop (safe: pop() destroys the source immediately).
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  e.fn();
+  return Fired{e.at, e.id};
+}
+
+}  // namespace tbr

@@ -1,0 +1,53 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so equal-time events run
+// in the order they were scheduled and a fixed seed yields a fixed run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace tbr {
+
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Fn = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at`. Returns the event's id.
+  EventId schedule(Tick at, Fn fn);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; kNever when empty.
+  Tick next_time() const;
+
+  /// Pop and run the earliest event. Returns its (time, id).
+  struct Fired {
+    Tick at = 0;
+    EventId id = 0;
+  };
+  Fired run_next();
+
+ private:
+  struct Entry {
+    Tick at;
+    EventId id;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace tbr

@@ -1,0 +1,46 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+FaultPlan FaultPlan::random(Rng& rng, const GroupConfig& cfg,
+                            std::uint32_t max_crashes, Tick horizon,
+                            bool allow_writer) {
+  TBR_ENSURE(max_crashes <= cfg.t, "cannot plan more than t crashes");
+  TBR_ENSURE(horizon >= 0, "horizon must be non-negative");
+  std::vector<ProcessId> victims;
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    if (!allow_writer && pid == cfg.writer) continue;
+    victims.push_back(pid);
+  }
+  rng.shuffle(victims);
+  FaultPlan plan;
+  const auto count = std::min<std::size_t>(max_crashes, victims.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    plan.crashes.push_back(CrashEvent{victims[i], rng.uniform(0, horizon)});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::deterministic(const GroupConfig& cfg, std::uint32_t count,
+                                   Tick at) {
+  TBR_ENSURE(count <= cfg.t, "cannot plan more than t crashes");
+  FaultPlan plan;
+  ProcessId pid = cfg.n;
+  while (plan.crashes.size() < count) {
+    TBR_ENSURE(pid > 0, "ran out of victims");
+    --pid;
+    if (pid == cfg.writer) continue;
+    plan.crashes.push_back(CrashEvent{pid, at});
+  }
+  return plan;
+}
+
+void FaultPlan::install(SimNetwork& net) const {
+  for (const auto& c : crashes) net.crash_at(c.pid, c.at);
+}
+
+}  // namespace tbr

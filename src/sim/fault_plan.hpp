@@ -1,0 +1,40 @@
+// Crash schedules for property tests and resilience benches.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/register_process.hpp"
+#include "sim/sim_network.hpp"
+
+namespace tbr {
+
+struct CrashEvent {
+  ProcessId pid = kNoProcess;
+  Tick at = 0;
+};
+
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+
+  static FaultPlan none() { return {}; }
+
+  /// Up to `max_crashes` (<= cfg.t) distinct victims with crash times drawn
+  /// uniformly from [0, horizon]. The writer is only eligible when
+  /// `allow_writer`; crashing the writer mid-run means the tail of the
+  /// workload may contain an incomplete final write, which the atomicity
+  /// definition explicitly tolerates and the checker handles.
+  static FaultPlan random(Rng& rng, const GroupConfig& cfg,
+                          std::uint32_t max_crashes, Tick horizon,
+                          bool allow_writer);
+
+  /// Exactly `count` victims chosen round-robin from the highest ids
+  /// (deterministic; never the writer), all crashing at `at`.
+  static FaultPlan deterministic(const GroupConfig& cfg, std::uint32_t count,
+                                 Tick at);
+
+  void install(SimNetwork& net) const;
+};
+
+}  // namespace tbr

@@ -1,0 +1,227 @@
+#include "sim/sim_network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+// Per-process view of the network handed to handlers.
+class SimNetwork::Context final : public NetworkContext {
+ public:
+  Context(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
+
+  void send(ProcessId to, const Message& msg) override {
+    net_.send_from(self_, to, msg);
+  }
+  ProcessId self() const override { return self_; }
+  std::uint32_t process_count() const override {
+    return net_.process_count();
+  }
+  Tick now() const override { return net_.now(); }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    TBR_ENSURE(delay > 0, "timer delay must be positive");
+    net_.schedule_after(delay, [net = &net_, self = self_,
+                                fn = std::move(fn)] {
+      if (!net->crashed(self)) fn();
+    });
+  }
+
+ private:
+  SimNetwork& net_;
+  ProcessId self_;
+};
+
+SimNetwork::SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
+                       Options options)
+    : processes_(std::move(processes)),
+      crashed_(processes_.size(), false),
+      rng_(options.seed),
+      delay_(options.delay ? std::move(options.delay)
+                           : make_constant_delay(1000)),
+      loss_rate_(options.loss_rate) {
+  TBR_ENSURE(loss_rate_ >= 0.0 && loss_rate_ < 1.0,
+             "loss rate must be in [0, 1)");
+  TBR_ENSURE(!processes_.empty(), "network needs at least one process");
+  for (const auto& p : processes_) {
+    TBR_ENSURE(p != nullptr, "null process");
+  }
+  contexts_.reserve(processes_.size());
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    contexts_.push_back(std::make_unique<Context>(*this, pid));
+  }
+}
+
+SimNetwork::~SimNetwork() = default;
+
+void SimNetwork::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    if (!crashed_[pid]) processes_[pid]->on_start(*contexts_[pid]);
+  }
+}
+
+void SimNetwork::schedule_at(Tick when, std::function<void()> fn) {
+  TBR_ENSURE(when >= now_, "cannot schedule in the past");
+  queue_.schedule(when, std::move(fn));
+}
+
+void SimNetwork::schedule_after(Tick delay, std::function<void()> fn) {
+  TBR_ENSURE(delay >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void SimNetwork::crash_at(ProcessId pid, Tick when) {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  schedule_at(when, [this, pid] { crash_now(pid); });
+}
+
+void SimNetwork::crash_now(ProcessId pid) {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  if (crashed_[pid]) return;
+  crashed_[pid] = true;
+  ++crash_count_;
+  if (trace_ != nullptr) {
+    trace_->record(
+        TraceEvent{TraceEvent::Kind::kCrash, now_, pid, kNoProcess, 0, -1,
+                   false});
+  }
+  processes_[pid]->on_crash();
+}
+
+bool SimNetwork::crashed(ProcessId pid) const {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  return crashed_[pid];
+}
+
+void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
+  TBR_ENSURE(to < processes_.size(), "destination out of range");
+  TBR_ENSURE(to != from, "algorithms never send to themselves");
+  stats_.record_send(msg.type, msg.wire);
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{TraceEvent::Kind::kSend, now_, from, to,
+                              msg.type, msg.debug_index, msg.has_value});
+  }
+  if (crashed_[to]) {
+    // The channel is reliable but the endpoint is gone; the frame can never
+    // be processed. Account it as sent-then-dropped.
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                msg.type, msg.debug_index, msg.has_value});
+    }
+    return;
+  }
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+    // Out-of-model loss injection (experiment D8): the frame evaporates.
+    ++frames_lost_;
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                msg.type, msg.debug_index, msg.has_value});
+    }
+    return;
+  }
+  const Tick dt = delay_->delay(rng_, from, to, msg);
+  TBR_ENSURE(dt > 0, "delay model produced a non-positive delay");
+  const Tick deliver_at = now_ + dt;
+  // Two-phase scheduling so the closure can know its own event id for the
+  // in-flight registry.
+  Message copy = msg;
+  const auto id = queue_.schedule(deliver_at, [this, from, to, copy]() {
+    // forget_in_flight runs inside step(), which captured the id via the
+    // registry below; see step() for removal.
+    if (crashed_[to]) {
+      stats_.record_drop(copy.type);
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                  copy.type, copy.debug_index,
+                                  copy.has_value});
+      }
+      return;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
+                                copy.type, copy.debug_index, copy.has_value});
+    }
+    processes_[to]->on_message(*contexts_[to], from, copy);
+  });
+  in_flight_.emplace_back(
+      id, InFlight{from, to, msg.type, msg.debug_index, deliver_at});
+}
+
+void SimNetwork::forget_in_flight(EventQueue::EventId id) {
+  const auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [id](const auto& entry) { return entry.first == id; });
+  if (it != in_flight_.end()) in_flight_.erase(it);
+}
+
+void SimNetwork::step() {
+  const Tick at = queue_.next_time();
+  TBR_ENSURE(at != kNever, "step on empty queue");
+  TBR_ENSURE(at >= now_, "time went backwards");
+  now_ = at;
+  const auto fired = queue_.run_next();
+  forget_in_flight(fired.id);
+  ++events_executed_;
+  if (post_event_hook_) post_event_hook_(*this);
+}
+
+bool SimNetwork::run(std::uint64_t max_events, Tick max_time) {
+  ensure_started();
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.next_time() > max_time) return false;
+    if (executed >= max_events) return false;
+    step();
+    ++executed;
+  }
+  return true;
+}
+
+bool SimNetwork::run_until(const std::function<bool()>& done,
+                           std::uint64_t max_events, Tick max_time) {
+  TBR_ENSURE(done != nullptr, "run_until needs a predicate");
+  ensure_started();
+  if (done()) return true;
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.next_time() > max_time) return false;
+    if (executed >= max_events) return false;
+    step();
+    ++executed;
+    if (done()) return true;
+  }
+  return false;
+}
+
+ProcessBase& SimNetwork::process(ProcessId pid) {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  return *processes_[pid];
+}
+
+NetworkContext& SimNetwork::context(ProcessId pid) {
+  TBR_ENSURE(pid < contexts_.size(), "pid out of range");
+  return *contexts_[pid];
+}
+
+std::vector<SimNetwork::InFlight> SimNetwork::in_flight() const {
+  std::vector<InFlight> out;
+  out.reserve(in_flight_.size());
+  for (const auto& [id, info] : in_flight_) out.push_back(info);
+  return out;
+}
+
+std::vector<SimNetwork::InFlight> SimNetwork::in_flight_between(
+    ProcessId from, ProcessId to) const {
+  std::vector<InFlight> out;
+  for (const auto& [id, info] : in_flight_) {
+    if (info.from == from && info.to == to) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace tbr

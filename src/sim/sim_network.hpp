@@ -1,0 +1,149 @@
+// SimNetwork: the CAMP_{n,t} model, executable.
+//
+// n event-driven processes over a complete graph of reliable, non-FIFO,
+// asynchronous channels; up to t of them may crash at scheduled instants.
+// Virtual time advances only when events fire, so a (processes, delay model,
+// seed) triple fully determines the execution — the adversarial-schedule
+// property tests sweep seeds to explore distinct interleavings.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "metrics/message_stats.hpp"
+#include "net/context.hpp"
+#include "net/process.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+namespace tbr {
+
+class SimNetwork {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::unique_ptr<DelayModel> delay;  ///< default: ConstantDelay(1000)
+
+    /// OUT-OF-MODEL fault injection: drop each frame with this probability.
+    /// The CAMP model's channels are reliable and every algorithm here
+    /// assumes that (none retransmits); non-zero loss exists to demonstrate
+    /// the model boundary (experiment D8) — safety survives, liveness does
+    /// not. Keep 0 for every in-model experiment.
+    double loss_rate = 0.0;
+  };
+
+  SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
+             Options options);
+  ~SimNetwork();
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // ---- time & scheduling -------------------------------------------------
+  Tick now() const noexcept { return now_; }
+
+  /// Schedule a client-side event (e.g. "process 2 starts a read") at an
+  /// absolute virtual time >= now.
+  void schedule_at(Tick when, std::function<void()> fn);
+  void schedule_after(Tick delay, std::function<void()> fn);
+
+  // ---- faults -------------------------------------------------------------
+  /// Crash `pid` at time `when`: it processes no event at or after `when`;
+  /// messages already sent by it remain in flight (a crash stops the
+  /// process, not its packets).
+  void crash_at(ProcessId pid, Tick when);
+  void crash_now(ProcessId pid);
+  bool crashed(ProcessId pid) const;
+  std::uint32_t crash_count() const noexcept { return crash_count_; }
+
+  // ---- execution ----------------------------------------------------------
+  /// Run events until the queue drains or a limit is hit.
+  /// Returns true if the queue drained.
+  bool run(std::uint64_t max_events = kDefaultMaxEvents,
+           Tick max_time = kNever);
+
+  /// Run until `done()` holds (checked after every event) or a limit is hit.
+  /// Returns true if `done()` held.
+  bool run_until(const std::function<bool()>& done,
+                 std::uint64_t max_events = kDefaultMaxEvents,
+                 Tick max_time = kNever);
+
+  std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  // ---- access -------------------------------------------------------------
+  std::uint32_t process_count() const {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+  ProcessBase& process(ProcessId pid);
+  template <typename T>
+  T& process_as(ProcessId pid) {
+    auto* p = dynamic_cast<T*>(&process(pid));
+    TBR_ENSURE(p != nullptr, "process has unexpected type");
+    return *p;
+  }
+  NetworkContext& context(ProcessId pid);
+
+  MessageStats& stats() noexcept { return stats_; }
+  const MessageStats& stats() const noexcept { return stats_; }
+  Rng& rng() noexcept { return rng_; }
+
+  // ---- introspection (invariant observers, P1-style channel checks) -------
+  struct InFlight {
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    std::uint8_t type = 0;
+    SeqNo debug_index = -1;
+    Tick deliver_at = 0;
+  };
+  std::vector<InFlight> in_flight() const;
+  std::vector<InFlight> in_flight_between(ProcessId from, ProcessId to) const;
+
+  /// Frames destroyed by out-of-model loss injection (Options::loss_rate).
+  std::uint64_t frames_lost() const noexcept { return frames_lost_; }
+
+  /// Called after every executed event with the network in a quiescent
+  /// state; the lemma-invariant observers hang here. Throwing from the hook
+  /// aborts the run (tests use TBR_INVARIANT).
+  using Hook = std::function<void(SimNetwork&)>;
+  void set_post_event_hook(Hook hook) { post_event_hook_ = std::move(hook); }
+
+  /// Attach a protocol trace (send/deliver/drop/crash events). The log must
+  /// outlive the network; pass nullptr to detach.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 50'000'000;
+
+ private:
+  class Context;
+
+  void send_from(ProcessId from, ProcessId to, const Message& msg);
+  void step();  // run one event + hook
+
+  std::vector<std::unique_ptr<ProcessBase>> processes_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<bool> crashed_;
+  std::uint32_t crash_count_ = 0;
+
+  EventQueue queue_;
+  Tick now_ = 0;
+  std::uint64_t events_executed_ = 0;
+
+  Rng rng_;
+  std::unique_ptr<DelayModel> delay_;
+  double loss_rate_ = 0.0;
+  std::uint64_t frames_lost_ = 0;
+  MessageStats stats_;
+  Hook post_event_hook_;
+  TraceLog* trace_ = nullptr;
+
+  // In-flight registry keyed by event id (erased on delivery/drop).
+  std::vector<std::pair<EventQueue::EventId, InFlight>> in_flight_;
+  void forget_in_flight(EventQueue::EventId id);
+  bool started_ = false;
+  void ensure_started();
+};
+
+}  // namespace tbr

@@ -1,0 +1,47 @@
+// Structured protocol tracing for the simulator.
+//
+// When attached to a SimNetwork, every send, delivery, drop and crash is
+// recorded; render() pretty-prints the trace with an algorithm codec for
+// frame names. Tests assert on message sequences (e.g. the exact two-hop
+// pattern of a write dissemination); the CLI's `trace` subcommand shows
+// the protocol to humans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/codec.hpp"
+
+namespace tbr {
+
+struct TraceEvent {
+  enum class Kind { kSend, kDeliver, kDrop, kCrash };
+  Kind kind = Kind::kSend;
+  Tick at = 0;
+  ProcessId from = kNoProcess;  ///< kCrash: the crashed process
+  ProcessId to = kNoProcess;
+  std::uint8_t type = 0;
+  SeqNo debug_index = -1;  ///< history index for WRITE-like frames
+  bool has_value = false;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> of_kind(TraceEvent::Kind kind) const;
+
+  /// Human-readable rendering; `codec` names the frame types and `delta`
+  /// scales timestamps (pass the delay to print in Δ units, or 1 for ticks).
+  std::string render(const Codec& codec, Tick delta = 1) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tbr

@@ -1,0 +1,483 @@
+#include "transport/socket_network.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <utility>
+#include <variant>
+
+#include "common/contracts.hpp"
+#include "transport/tcp_socket.hpp"
+
+namespace tbr {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Length-prefixed framing on the byte stream.
+void append_frame(std::string& out, const std::string& encoded) {
+  const auto len = static_cast<std::uint32_t>(encoded.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  out.append(encoded);
+}
+
+std::uint32_t peek_u32(const std::string& buf, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- Node: one process, its sockets, its event loop -----------------------------
+
+class SocketNetwork::Node final : public NetworkContext {
+ public:
+  Node(SocketNetwork& net, ProcessId pid,
+       std::unique_ptr<RegisterProcessBase> proc)
+      : net_(net), pid_(pid), proc_(std::move(proc)), peers_(net.cfg_.n) {
+    auto [rd, wr] = tcp::make_wakeup_pipe();
+    wake_rd_ = std::move(rd);
+    wake_wr_ = std::move(wr);
+  }
+
+  // ---- NetworkContext (loop thread only) ----------------------------------------
+  void send(ProcessId to, const Message& msg) override {
+    TBR_ENSURE(to < peers_.size() && to != pid_, "bad destination");
+    if (crashed_) return;
+    net_.record_send(msg.type, msg.wire);
+    Peer& peer = peers_[to];
+    if (!peer.alive) {
+      net_.record_drop(msg.type);
+      return;
+    }
+    append_frame(peer.outbuf, proc_->codec().encode(msg));
+    flush_out(to);
+  }
+  ProcessId self() const override { return pid_; }
+  std::uint32_t process_count() const override { return net_.cfg_.n; }
+  Tick now() const override { return net_.now(); }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    TBR_ENSURE(delay > 0, "timer delay must be positive");
+    timers_.push_back(Timer{net_.now() + delay, timer_seq_++, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  }
+
+  // ---- mesh setup (main thread, before the loop starts) ---------------------------
+  std::uint16_t listen() {
+    auto [fd, port] = tcp::listen_loopback(static_cast<int>(net_.cfg_.n));
+    listener_ = std::move(fd);
+    return port;
+  }
+  int listener_fd() const { return listener_.get(); }
+  void adopt_connection(ProcessId peer, OwnedFd fd) {
+    TBR_ENSURE(peer < peers_.size() && !peers_[peer].fd.valid(),
+               "duplicate connection");
+    peers_[peer].fd = std::move(fd);
+    peers_[peer].alive = true;
+  }
+  void finish_setup() {
+    listener_.reset();
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p == pid_) continue;
+      TBR_ENSURE(peers_[p].fd.valid(), "mesh incomplete");
+      tcp::set_nonblocking(peers_[p].fd.get());
+      tcp::set_nodelay(peers_[p].fd.get());
+    }
+  }
+
+  // ---- commands (any thread) -------------------------------------------------------
+  struct WriteCmd {
+    Value value;
+    std::shared_ptr<std::promise<Tick>> done;
+  };
+  struct ReadCmd {
+    std::shared_ptr<std::promise<ReadResultT>> done;
+  };
+  struct CrashCmd {};
+  using Command = std::variant<WriteCmd, ReadCmd, CrashCmd>;
+
+  bool submit(Command cmd) {
+    {
+      const std::scoped_lock lock(cmd_mu_);
+      if (closed_) return false;
+      commands_.push_back(std::move(cmd));
+    }
+    wake();
+    return true;
+  }
+
+  void wake() {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup.
+    (void)!::write(wake_wr_.get(), &byte, 1);
+  }
+
+  bool crashed() const {
+    return crashed_flag_.load(std::memory_order_acquire);
+  }
+
+  // ---- the event loop -----------------------------------------------------------------
+  void loop(std::stop_token st) {
+    proc_->on_start(*this);
+    std::vector<pollfd> fds;
+    std::vector<ProcessId> fd_peer;  // pollfd index -> peer id (after pipe)
+    while (!st.stop_requested()) {
+      fds.clear();
+      fd_peer.clear();
+      fds.push_back(pollfd{wake_rd_.get(), POLLIN, 0});
+      for (ProcessId p = 0; p < peers_.size(); ++p) {
+        if (p == pid_ || !peers_[p].alive) continue;
+        short events = POLLIN;
+        if (!peers_[p].outbuf.empty()) events |= POLLOUT;
+        fds.push_back(pollfd{peers_[p].fd.get(), events, 0});
+        fd_peer.push_back(p);
+      }
+      const int rc = ::poll(fds.data(), fds.size(), poll_timeout_ms());
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError("poll failed");
+      }
+      fire_due_timers();
+      if ((fds[0].revents & POLLIN) != 0) {
+        tcp::drain_pipe(wake_rd_.get());
+        run_commands();
+      }
+      for (std::size_t k = 1; k < fds.size(); ++k) {
+        const ProcessId p = fd_peer[k - 1];
+        if (!peers_[p].alive) continue;  // a handler may have crashed us
+        if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          read_peer(p);
+        }
+        if (peers_[p].alive && (fds[k].revents & POLLOUT) != 0) {
+          flush_out(p);
+        }
+      }
+    }
+    fail_pending("network is shut down");
+  }
+
+ private:
+  struct Peer {
+    OwnedFd fd;
+    bool alive = false;
+    std::string inbuf;
+    std::string outbuf;
+  };
+  struct Timer {
+    Tick at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  int poll_timeout_ms() const {
+    if (timers_.empty()) return -1;
+    const Tick ns = timers_.front().at - net_.now();
+    if (ns <= 0) return 0;
+    return static_cast<int>(
+        std::min<Tick>((ns + 999'999) / 1'000'000, 60'000));
+  }
+
+  void fire_due_timers() {
+    while (!timers_.empty() && timers_.front().at <= net_.now()) {
+      std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+      Timer timer = std::move(timers_.back());
+      timers_.pop_back();
+      if (!crashed_ && timer.fn) timer.fn();
+    }
+  }
+
+  void run_commands() {
+    std::deque<Command> batch;
+    {
+      const std::scoped_lock lock(cmd_mu_);
+      batch.swap(commands_);
+    }
+    for (Command& cmd : batch) {
+      std::visit([this](auto&& c) { handle(std::forward<decltype(c)>(c)); },
+                 std::move(cmd));
+    }
+  }
+
+  void handle(WriteCmd cmd) {
+    if (crashed_) {
+      cmd.done->set_exception(std::make_exception_ptr(
+          std::runtime_error("process has crashed")));
+      return;
+    }
+    const Tick start = net_.now();
+    auto done = std::move(cmd.done);
+    pending_write_ = done;
+    proc_->start_write(*this, std::move(cmd.value),
+                       [this, done, start]() mutable {
+                         pending_write_.reset();
+                         done->set_value(net_.now() - start);
+                       });
+  }
+
+  void handle(ReadCmd cmd) {
+    if (crashed_) {
+      cmd.done->set_exception(std::make_exception_ptr(
+          std::runtime_error("process has crashed")));
+      return;
+    }
+    const Tick start = net_.now();
+    auto done = std::move(cmd.done);
+    pending_read_ = done;
+    proc_->start_read(*this, [this, done, start](const Value& v,
+                                                 SeqNo index) mutable {
+      pending_read_.reset();
+      done->set_value(ReadResultT{v, index, net_.now() - start});
+    });
+  }
+
+  void handle(CrashCmd) {
+    if (crashed_) return;
+    crashed_ = true;
+    crashed_flag_.store(true, std::memory_order_release);
+    proc_->on_crash();
+    // The model lets a faulty process's last operation evaporate (§2.2);
+    // its client's future must still resolve — fail it now, the algorithm
+    // will never complete it.
+    auto fail = [](auto& pending) {
+      if (pending) {
+        pending->set_exception(std::make_exception_ptr(
+            std::runtime_error("process has crashed")));
+        pending.reset();
+      }
+    };
+    fail(pending_write_);
+    fail(pending_read_);
+    // A crash kills the endpoint: sockets close, peers see dead channels.
+    for (Peer& peer : peers_) {
+      peer.fd.reset();
+      peer.alive = false;
+      peer.inbuf.clear();
+      peer.outbuf.clear();
+    }
+    timers_.clear();
+  }
+
+  void read_peer(ProcessId p) {
+    Peer& peer = peers_[p];
+    for (;;) {
+      const auto io = tcp::read_some(peer.fd.get(), peer.inbuf, 64 * 1024);
+      if (io.status == IoStatus::kClosed) {
+        peer.fd.reset();
+        peer.alive = false;
+        peer.inbuf.clear();
+        peer.outbuf.clear();
+        return;
+      }
+      dispatch_frames(p);
+      if (crashed_ || !peers_[p].alive) return;
+      if (io.status == IoStatus::kWouldBlock) return;
+    }
+  }
+
+  void dispatch_frames(ProcessId p) {
+    Peer& peer = peers_[p];
+    std::size_t pos = 0;
+    // A handler can tear this very buffer down mid-loop (crash command, or
+    // a send to p that discovers the socket closed), so re-check liveness
+    // and use overflow-safe bounds each iteration.
+    while (!crashed_ && peer.alive && peer.inbuf.size() >= pos + 4) {
+      const std::uint32_t len = peek_u32(peer.inbuf, pos);
+      if (peer.inbuf.size() < pos + 4 + len) break;
+      const Message msg = proc_->codec().decode(
+          std::string_view(peer.inbuf).substr(pos + 4, len));
+      pos += 4 + len;
+      proc_->on_message(*this, p, msg);
+    }
+    if (!crashed_ && peer.alive && pos > 0) peer.inbuf.erase(0, pos);
+  }
+
+  void flush_out(ProcessId p) {
+    Peer& peer = peers_[p];
+    while (!peer.outbuf.empty()) {
+      const auto io = tcp::write_some(peer.fd.get(), peer.outbuf.data(),
+                                      peer.outbuf.size());
+      if (io.status == IoStatus::kOk) {
+        peer.outbuf.erase(0, io.bytes);
+        continue;
+      }
+      if (io.status == IoStatus::kClosed) {
+        peer.fd.reset();
+        peer.alive = false;
+        peer.inbuf.clear();
+        peer.outbuf.clear();
+      }
+      return;  // kWouldBlock: POLLOUT will resume
+    }
+  }
+
+  void fail_pending(const char* why) {
+    std::deque<Command> rest;
+    {
+      const std::scoped_lock lock(cmd_mu_);
+      closed_ = true;
+      rest.swap(commands_);
+    }
+    for (Command& cmd : rest) {
+      auto ex = std::make_exception_ptr(std::runtime_error(why));
+      if (auto* w = std::get_if<WriteCmd>(&cmd)) w->done->set_exception(ex);
+      if (auto* r = std::get_if<ReadCmd>(&cmd)) r->done->set_exception(ex);
+    }
+  }
+
+  SocketNetwork& net_;
+  ProcessId pid_;
+  std::unique_ptr<RegisterProcessBase> proc_;
+  std::vector<Peer> peers_;
+  OwnedFd listener_;
+  OwnedFd wake_rd_, wake_wr_;
+
+  std::mutex cmd_mu_;
+  std::deque<Command> commands_;
+  bool closed_ = false;
+
+  std::vector<Timer> timers_;  // min-heap
+  std::uint64_t timer_seq_ = 0;
+  bool crashed_ = false;                    // loop thread's view
+  std::atomic<bool> crashed_flag_{false};   // external observers
+  // In-flight client operation promises (loop thread only): resolved by
+  // the completion callback or failed by a crash, whichever comes first.
+  std::shared_ptr<std::promise<Tick>> pending_write_;
+  std::shared_ptr<std::promise<ReadResultT>> pending_read_;
+};
+
+// ---- SocketNetwork ------------------------------------------------------------------
+
+SocketNetwork::SocketNetwork(Options options)
+    : cfg_(options.cfg), opt_(std::move(options)), epoch_(Clock::now()) {
+  cfg_.validate();
+  TBR_ENSURE(cfg_.n >= 2, "a socket mesh needs at least two processes");
+  nodes_.reserve(cfg_.n);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    auto proc = opt_.process_factory
+                    ? opt_.process_factory(cfg_, pid)
+                    : make_register_process(opt_.algo, cfg_, pid);
+    nodes_.push_back(std::make_unique<Node>(*this, pid, std::move(proc)));
+  }
+}
+
+SocketNetwork::~SocketNetwork() { stop(); }
+
+Tick SocketNetwork::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+void SocketNetwork::start() {
+  TBR_ENSURE(!stopped_, "network cannot be restarted");
+  if (started_) return;
+  started_ = true;
+
+  // Deterministic mesh handshake, one pair at a time: j dials i, announces
+  // itself, i accepts. Loopback makes the dial/accept alternation safe.
+  std::vector<std::uint16_t> ports(cfg_.n);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    ports[pid] = nodes_[pid]->listen();
+  }
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    for (ProcessId j = i + 1; j < cfg_.n; ++j) {
+      OwnedFd dialer = tcp::connect_loopback(ports[i]);
+      const std::uint32_t hello = j;
+      tcp::write_all_blocking(dialer.get(),
+                              reinterpret_cast<const char*>(&hello),
+                              sizeof(hello));
+      OwnedFd accepted = tcp::accept_blocking(nodes_[i]->listener_fd());
+      const std::string got =
+          tcp::read_exact_blocking(accepted.get(), sizeof(std::uint32_t));
+      std::uint32_t announced = 0;
+      std::memcpy(&announced, got.data(), sizeof(announced));
+      TBR_ENSURE(announced == j, "mesh handshake out of order");
+      nodes_[i]->adopt_connection(j, std::move(accepted));
+      nodes_[j]->adopt_connection(i, std::move(dialer));
+    }
+  }
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) nodes_[pid]->finish_setup();
+
+  threads_.reserve(cfg_.n);
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    threads_.emplace_back(
+        [node = nodes_[pid].get()](std::stop_token st) { node->loop(st); });
+  }
+}
+
+void SocketNetwork::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& thread : threads_) thread.request_stop();
+  for (auto& node : nodes_) node->wake();
+  threads_.clear();  // jthread joins on destruction
+}
+
+std::future<Tick> SocketNetwork::write(Value v) {
+  TBR_ENSURE(started_, "start() the network first");
+  auto promise = std::make_shared<std::promise<Tick>>();
+  auto future = promise->get_future();
+  if (!nodes_[cfg_.writer]->submit(
+          Node::WriteCmd{std::move(v), promise})) {
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("network is shut down")));
+  }
+  return future;
+}
+
+std::future<SocketNetwork::ReadResult> SocketNetwork::read(ProcessId reader) {
+  TBR_ENSURE(started_, "start() the network first");
+  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
+  auto promise = std::make_shared<std::promise<ReadResult>>();
+  auto future = promise->get_future();
+  if (!nodes_[reader]->submit(Node::ReadCmd{promise})) {
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("network is shut down")));
+  }
+  return future;
+}
+
+void SocketNetwork::crash(ProcessId pid) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  nodes_[pid]->submit(Node::CrashCmd{});
+}
+
+bool SocketNetwork::crashed(ProcessId pid) const {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  return nodes_[pid]->crashed();
+}
+
+MessageStats SocketNetwork::stats_snapshot() const {
+  const std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+void SocketNetwork::record_send(std::uint8_t type,
+                                const WireAccounting& wire) {
+  const std::scoped_lock lock(stats_mu_);
+  stats_.record_send(type, wire);
+}
+
+void SocketNetwork::record_drop(std::uint8_t type) {
+  const std::scoped_lock lock(stats_mu_);
+  stats_.record_drop(type);
+}
+
+}  // namespace tbr

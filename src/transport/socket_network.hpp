@@ -1,0 +1,92 @@
+// SocketNetwork: the register group over real TCP sockets.
+//
+// The third runtime (after the discrete-event simulator and the in-memory
+// thread network): n processes inside this OS process, each with its own
+// poll(2) event loop thread, fully meshed over loopback TCP connections.
+// What travels between processes is the algorithm codec's wire encoding in
+// length-prefixed frames — the actual two-bit frames, over an actual
+// transport.
+//
+// Model mapping: TCP gives reliable FIFO byte streams, which is strictly
+// stronger than the CAMP model's reliable non-FIFO channels, so every
+// property proven in the model holds here (the simulator covers the
+// adversarial-reordering side; the socket runtime covers the "is this a
+// real system" side). Crashing a process closes its sockets mid-protocol;
+// peers observe the dead channel and drop traffic toward it, exactly the
+// model's "a crash stops the process, not its delivered packets".
+//
+// Threading: each process's handlers run only on its own loop thread (the
+// model's processes are sequential). Client calls marshal operations onto
+// the loop thread through a command queue + wakeup pipe and resolve
+// futures. Timers (NetworkContext::schedule) run on the loop thread too.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "metrics/message_stats.hpp"
+#include "net/register_process.hpp"
+#include "runtime/mailbox.hpp"  // ReadResultT
+#include "workload/algorithms.hpp"
+
+namespace tbr {
+
+class SocketNetwork {
+ public:
+  struct Options {
+    GroupConfig cfg;
+    Algorithm algo = Algorithm::kTwoBit;
+    /// Optional override: build each process yourself (e.g. wrap in a
+    /// ReliableLinkProcess). When set, `algo` is informational.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        process_factory;
+  };
+
+  explicit SocketNetwork(Options options);
+  ~SocketNetwork();
+  SocketNetwork(const SocketNetwork&) = delete;
+  SocketNetwork& operator=(const SocketNetwork&) = delete;
+
+  /// Build the TCP mesh and launch all event loops. Idempotent.
+  void start();
+  /// Stop loops, close sockets, reject further work. Idempotent.
+  void stop();
+
+  /// Asynchronous write from the writer process; resolves with latency
+  /// (ns) or throws if the writer crashed / network stopped.
+  std::future<Tick> write(Value v);
+
+  using ReadResult = ReadResultT;
+  std::future<ReadResult> read(ProcessId reader);
+
+  /// Crash a process: its loop closes every socket and ignores the rest.
+  void crash(ProcessId pid);
+  bool crashed(ProcessId pid) const;
+
+  MessageStats stats_snapshot() const;
+  const GroupConfig& config() const noexcept { return cfg_; }
+  Tick now() const;  ///< ns since network construction
+
+ private:
+  class Node;
+
+  GroupConfig cfg_;
+  Options opt_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  mutable std::mutex stats_mu_;
+  MessageStats stats_;
+  void record_send(std::uint8_t type, const WireAccounting& wire);
+  void record_drop(std::uint8_t type);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::jthread> threads_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace tbr

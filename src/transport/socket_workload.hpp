@@ -1,0 +1,40 @@
+// Closed-loop workload over the socket runtime: real TCP, real clocks,
+// the same atomicity checking as the simulator and thread workloads.
+#pragma once
+
+#include <vector>
+
+#include "checker/history.hpp"
+#include "checker/swmr_checker.hpp"
+#include "transport/socket_network.hpp"
+
+namespace tbr {
+
+struct SocketWorkloadOptions {
+  GroupConfig cfg;
+  Algorithm algo = Algorithm::kTwoBit;
+  std::uint64_t seed = 1;
+
+  std::uint32_t ops_per_process = 24;
+  /// Processes to crash (<= cfg.t, never the writer) partway through.
+  std::uint32_t crashes = 0;
+  /// Optional process override (e.g. link-wrapped registers).
+  std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                     ProcessId)>
+      process_factory;
+};
+
+struct SocketWorkloadResult {
+  std::vector<OpRecord> ops;
+  MessageStats stats;
+  std::uint32_t completed_by_correct = 0;
+  std::uint32_t quota_of_correct = 0;
+
+  CheckResult check_atomicity(const Value& initial) const {
+    return SwmrChecker::check(ops, initial);
+  }
+};
+
+SocketWorkloadResult run_socket_workload(const SocketWorkloadOptions& options);
+
+}  // namespace tbr

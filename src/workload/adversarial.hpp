@@ -1,0 +1,48 @@
+// Hand-crafted adversarial schedules that pin each wait statement of the
+// read path to the atomicity claim it enforces.
+//
+// Random workloads almost never align two sequential reads inside one
+// write's dissemination window, so the wait-ablation experiments use these
+// deterministic scenarios: delays are chosen per (channel, frame) so that a
+// fresh reader finishes a read *before* a stale reader starts one, while
+// the new value is still in flight towards the stale side of the network.
+// With the faithful algorithms the second read is forced to return the new
+// value; with a wait removed it returns the old one — a new/old inversion
+// (Claim 3 / C3), or a stale read (Claim 2 / C2) for the freshness wait.
+#pragma once
+
+#include "checker/swmr_checker.hpp"
+#include "core/twobit_process.hpp"
+
+namespace tbr {
+
+struct ScenarioOutcome {
+  /// Index returned by the early (fresh) and late (stale-side) reads.
+  SeqNo first_read_index = -1;
+  SeqNo second_read_index = -1;
+  bool both_completed = false;
+  CheckStats stats;  ///< checker verdict over the recorded history
+
+  bool inverted() const {
+    return both_completed && second_read_index < first_read_index;
+  }
+};
+
+/// Two-bit algorithm, n = 5: value 2 is held back from processes 2..4 while
+/// reader p1 (fresh side) completes a read, then reader p2 (stale side)
+/// runs one. `options` selects the ablation; with the faithful options the
+/// outcome must not invert.
+ScenarioOutcome run_twobit_inversion_scenario(const TwoBitOptions& options);
+
+/// Same schedule shape for the ABD family: `regular` = true runs the
+/// 1-phase-read ablation (Lamport-regular register), false the faithful
+/// 2-phase (query + write-back) ABD.
+ScenarioOutcome run_abd_inversion_scenario(bool regular);
+
+/// Stale-read scenario for the responder freshness wait (Fig. 1 line 20):
+/// a write *completes* against a far-side quorum while reader p2's replica
+/// is still behind; with `eager_proceed` the read returns the overwritten
+/// value (C2), with the faithful wait it must return the new one.
+ScenarioOutcome run_twobit_stale_read_scenario(const TwoBitOptions& options);
+
+}  // namespace tbr

@@ -1,0 +1,62 @@
+#include "workload/algorithms.hpp"
+
+#include "abd/phased_process.hpp"
+#include "common/contracts.hpp"
+#include "core/twobit_process.hpp"
+
+namespace tbr {
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> all = {
+      Algorithm::kAbdUnbounded,
+      Algorithm::kAbdBounded,
+      Algorithm::kAttiya,
+      Algorithm::kTwoBit,
+  };
+  return all;
+}
+
+std::string algorithm_name(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kTwoBit:
+      return "twobit";
+    case Algorithm::kAbdUnbounded:
+      return "abd-unbounded";
+    case Algorithm::kAbdBounded:
+      return "abd-bounded";
+    case Algorithm::kAttiya:
+      return "attiya";
+  }
+  TBR_ENSURE(false, "unknown algorithm");
+  return {};
+}
+
+std::unique_ptr<RegisterProcessBase> make_register_process(Algorithm algo,
+                                                           GroupConfig cfg,
+                                                           ProcessId self) {
+  switch (algo) {
+    case Algorithm::kTwoBit:
+      return make_twobit_process(std::move(cfg), self);
+    case Algorithm::kAbdUnbounded:
+      return make_abd_unbounded_process(std::move(cfg), self);
+    case Algorithm::kAbdBounded:
+      return make_abd_bounded_process(std::move(cfg), self);
+    case Algorithm::kAttiya:
+      return make_attiya_process(std::move(cfg), self);
+  }
+  TBR_ENSURE(false, "unknown algorithm");
+  return {};
+}
+
+std::vector<std::unique_ptr<ProcessBase>> make_register_group(
+    Algorithm algo, const GroupConfig& cfg) {
+  cfg.validate();
+  std::vector<std::unique_ptr<ProcessBase>> group;
+  group.reserve(cfg.n);
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    group.push_back(make_register_process(algo, cfg, pid));
+  }
+  return group;
+}
+
+}  // namespace tbr

@@ -1,0 +1,33 @@
+// Registry of the four register implementations Table 1 compares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+enum class Algorithm {
+  kTwoBit,        ///< this paper: four message types, 2 control bits
+  kAbdUnbounded,  ///< ABD'95, unbounded sequence numbers
+  kAbdBounded,    ///< ABD'95 bounded variant (structural emulation)
+  kAttiya,        ///< Attiya'00 bounded labels (structural emulation)
+};
+
+/// All four, in Table 1 column order.
+const std::vector<Algorithm>& all_algorithms();
+
+std::string algorithm_name(Algorithm algo);
+
+/// Instantiate one process of the chosen implementation.
+std::unique_ptr<RegisterProcessBase> make_register_process(Algorithm algo,
+                                                           GroupConfig cfg,
+                                                           ProcessId self);
+
+/// Build the full group (index i = process i).
+std::vector<std::unique_ptr<ProcessBase>> make_register_group(
+    Algorithm algo, const GroupConfig& cfg);
+
+}  // namespace tbr

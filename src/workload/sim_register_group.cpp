@@ -1,0 +1,81 @@
+#include "workload/sim_register_group.hpp"
+
+#include <utility>
+
+namespace tbr {
+
+SimRegisterGroup::SimRegisterGroup(Options options)
+    : cfg_(std::move(options.cfg)), algo_(options.algo) {
+  cfg_.validate();
+  SimNetwork::Options net_opt;
+  net_opt.seed = options.seed;
+  net_opt.delay = options.delay ? std::move(options.delay)
+                                : make_constant_delay(kDefaultDelta);
+  net_opt.loss_rate = options.loss_rate;
+  std::vector<std::unique_ptr<ProcessBase>> group;
+  if (options.process_factory) {
+    group.reserve(cfg_.n);
+    for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+      group.push_back(options.process_factory(cfg_, pid));
+    }
+  } else {
+    group = make_register_group(algo_, cfg_);
+  }
+  net_ = std::make_unique<SimNetwork>(std::move(group), std::move(net_opt));
+}
+
+RegisterProcessBase& SimRegisterGroup::process(ProcessId pid) {
+  return net_->process_as<RegisterProcessBase>(pid);
+}
+
+void SimRegisterGroup::begin_write(Value v, std::function<void()> done) {
+  TBR_ENSURE(!net_->crashed(cfg_.writer), "writer has crashed");
+  auto& writer = process(cfg_.writer);
+  writer.start_write(net_->context(cfg_.writer), std::move(v),
+                     std::move(done));
+}
+
+void SimRegisterGroup::begin_read(
+    ProcessId reader, std::function<void(const Value&, SeqNo)> done) {
+  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
+  TBR_ENSURE(!net_->crashed(reader), "reader has crashed");
+  auto& proc = process(reader);
+  proc.start_read(net_->context(reader), std::move(done));
+}
+
+Tick SimRegisterGroup::write(Value v) {
+  const Tick start = net_->now();
+  bool finished = false;
+  begin_write(std::move(v), [&finished] { finished = true; });
+  const bool ok = net_->run_until([&finished] { return finished; });
+  TBR_ENSURE(ok, "write did not complete (crashed quorum or stuck run?)");
+  return net_->now() - start;
+}
+
+SimRegisterGroup::ReadOutcome SimRegisterGroup::read(ProcessId reader) {
+  const Tick start = net_->now();
+  ReadOutcome out;
+  bool finished = false;
+  begin_read(reader, [&](const Value& v, SeqNo idx) {
+    out.value = v;
+    out.index = idx;
+    finished = true;
+  });
+  const bool ok = net_->run_until([&finished] { return finished; });
+  TBR_ENSURE(ok, "read did not complete (crashed quorum or stuck run?)");
+  out.latency = net_->now() - start;
+  return out;
+}
+
+void SimRegisterGroup::settle() {
+  const bool drained = net_->run();
+  TBR_ENSURE(drained, "protocol traffic did not drain");
+}
+
+void SimRegisterGroup::crash(ProcessId pid) { net_->crash_now(pid); }
+
+void SimRegisterGroup::crash_at(ProcessId pid, Tick t) {
+  net_->crash_at(pid, t);
+}
+
+}  // namespace tbr

@@ -1,0 +1,76 @@
+// SimRegisterGroup: a ready-to-use register over the simulated network.
+//
+// The blocking write()/read() calls drive the simulator until the operation
+// completes (the quickstart-level API); begin_* plus run_until gives full
+// control for overlapping operations, crash scheduling and latency sweeps.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/fault_plan.hpp"
+#include "sim/sim_network.hpp"
+#include "workload/algorithms.hpp"
+
+namespace tbr {
+
+class SimRegisterGroup {
+ public:
+  struct Options {
+    GroupConfig cfg;
+    Algorithm algo = Algorithm::kTwoBit;
+    std::uint64_t seed = 1;
+    /// nullptr => ConstantDelay(kDefaultDelta).
+    std::unique_ptr<DelayModel> delay;
+    /// Optional override: build each process yourself (e.g. TwoBitProcess
+    /// with non-default TwoBitOptions). When set, `algo` is informational.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        process_factory;
+
+    /// OUT-OF-MODEL loss injection (see SimNetwork::Options::loss_rate);
+    /// keep 0 except for the D8 model-boundary experiment.
+    double loss_rate = 0.0;
+  };
+  static constexpr Tick kDefaultDelta = 1000;
+
+  explicit SimRegisterGroup(Options options);
+
+  // ---- blocking API ----------------------------------------------------------
+  /// Write from the configured writer; returns the operation latency in
+  /// virtual ticks. Throws if the simulation cannot complete the write.
+  Tick write(Value v);
+
+  struct ReadOutcome {
+    Value value;
+    SeqNo index = -1;
+    Tick latency = 0;
+  };
+  /// Read at process `reader` (blocking), with latency.
+  ReadOutcome read(ProcessId reader);
+
+  /// Let all in-flight protocol traffic drain (e.g. to reach the steady
+  /// state in which every process knows every value before a measurement).
+  void settle();
+
+  // ---- async API --------------------------------------------------------------
+  void begin_write(Value v, std::function<void()> done);
+  void begin_read(ProcessId reader,
+                  std::function<void(const Value&, SeqNo)> done);
+
+  // ---- environment ---------------------------------------------------------------
+  void crash(ProcessId pid);            ///< immediately
+  void crash_at(ProcessId pid, Tick t);
+  SimNetwork& net() noexcept { return *net_; }
+  const GroupConfig& config() const noexcept { return cfg_; }
+  Algorithm algorithm() const noexcept { return algo_; }
+  RegisterProcessBase& process(ProcessId pid);
+
+ private:
+  GroupConfig cfg_;
+  Algorithm algo_;
+  std::unique_ptr<SimNetwork> net_;
+};
+
+}  // namespace tbr

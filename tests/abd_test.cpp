@@ -1,0 +1,258 @@
+// Functional tests of the ABD-family baselines (phased quorum engine):
+// basic semantics, Table-1 message-count and timing structure per spec,
+// crash tolerance, and wire accounting.
+#include <gtest/gtest.h>
+
+#include "abd/phased_process.hpp"
+#include "common/bits.hpp"
+#include "workload/sim_register_group.hpp"
+
+namespace tbr {
+namespace {
+
+constexpr Tick kDelta = 1000;
+
+SimRegisterGroup make_group(Algorithm algo, std::uint32_t n, std::uint32_t t,
+                            std::uint64_t seed = 1) {
+  SimRegisterGroup::Options opt;
+  opt.cfg.n = n;
+  opt.cfg.t = t;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = algo;
+  opt.seed = seed;
+  opt.delay = make_constant_delay(kDelta);
+  return SimRegisterGroup(std::move(opt));
+}
+
+class BaselineFunctional : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(BaselineFunctional, InitialValueReadable) {
+  auto group = make_group(GetParam(), 5, 2);
+  for (ProcessId pid = 0; pid < 5; ++pid) {
+    const auto out = group.read(pid);
+    EXPECT_EQ(out.value.to_int64(), 0);
+    EXPECT_EQ(out.index, 0);
+  }
+}
+
+TEST_P(BaselineFunctional, WriteThenReadEverywhere) {
+  auto group = make_group(GetParam(), 5, 2);
+  group.write(Value::from_int64(31));
+  for (ProcessId pid = 0; pid < 5; ++pid) {
+    const auto out = group.read(pid);
+    EXPECT_EQ(out.value.to_int64(), 31);
+    EXPECT_EQ(out.index, 1);
+  }
+}
+
+TEST_P(BaselineFunctional, SequenceOfWrites) {
+  auto group = make_group(GetParam(), 3, 1);
+  for (int k = 1; k <= 12; ++k) {
+    group.write(Value::from_int64(k * 7));
+    EXPECT_EQ(group.read(static_cast<ProcessId>(k % 3)).value.to_int64(),
+              k * 7);
+  }
+}
+
+TEST_P(BaselineFunctional, SurvivesMinorityCrash) {
+  auto group = make_group(GetParam(), 5, 2);
+  group.write(Value::from_int64(1));
+  group.crash(3);
+  group.crash(4);
+  group.write(Value::from_int64(2));
+  EXPECT_EQ(group.read(1).value.to_int64(), 2);
+}
+
+TEST_P(BaselineFunctional, WriterCanRead) {
+  auto group = make_group(GetParam(), 3, 1);
+  group.write(Value::from_int64(5));
+  EXPECT_EQ(group.read(0).value.to_int64(), 5);
+}
+
+TEST_P(BaselineFunctional, SingleProcessGroup) {
+  auto group = make_group(GetParam(), 1, 0);
+  group.write(Value::from_int64(3));
+  EXPECT_EQ(group.read(0).value.to_int64(), 3);
+}
+
+TEST_P(BaselineFunctional, RejectsWriteFromNonWriter) {
+  auto group = make_group(GetParam(), 3, 1);
+  auto& p1 = group.process(1);
+  EXPECT_THROW(
+      p1.start_write(group.net().context(1), Value::from_int64(1), [] {}),
+      ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineFunctional,
+    testing::Values(Algorithm::kAbdUnbounded, Algorithm::kAbdBounded,
+                    Algorithm::kAttiya),
+    [](const testing::TestParamInfo<Algorithm>& param_info) {
+      auto name = algorithm_name(param_info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- Table-1 structure: timing -------------------------------------------------
+
+struct TimingRow {
+  Algorithm algo;
+  Tick write_deltas;
+  Tick read_deltas;
+};
+
+class BaselineTiming : public testing::TestWithParam<TimingRow> {};
+
+TEST_P(BaselineTiming, PhaseTimingMatchesTable1) {
+  const auto& row = GetParam();
+  auto group = make_group(row.algo, 5, 2);
+  const Tick w = group.write(Value::from_int64(1));
+  EXPECT_EQ(w, row.write_deltas * kDelta);
+  group.settle();
+  const auto r = group.read(3);
+  EXPECT_EQ(r.latency, row.read_deltas * kDelta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BaselineTiming,
+    testing::Values(TimingRow{Algorithm::kAbdUnbounded, 2, 4},
+                    TimingRow{Algorithm::kAbdBounded, 12, 12},
+                    TimingRow{Algorithm::kAttiya, 14, 18}),
+    [](const testing::TestParamInfo<TimingRow>& param_info) {
+      auto name = algorithm_name(param_info.param.algo);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- Table-1 structure: message counts ----------------------------------------------
+
+TEST(BaselineMessages, AbdUnboundedWriteIsLinear) {
+  for (const std::uint32_t n : {3u, 5u, 9u}) {
+    auto group = make_group(Algorithm::kAbdUnbounded, n, (n - 1) / 2);
+    const auto before = group.net().stats().snapshot();
+    group.write(Value::from_int64(1));
+    group.settle();
+    const auto delta = group.net().stats().diff_since(before);
+    // 1 phase: n-1 requests + n-1 acks.
+    EXPECT_EQ(delta.total_sent(), 2ull * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(BaselineMessages, AbdUnboundedReadIsLinear) {
+  for (const std::uint32_t n : {3u, 5u, 9u}) {
+    auto group = make_group(Algorithm::kAbdUnbounded, n, (n - 1) / 2);
+    group.write(Value::from_int64(1));
+    group.settle();
+    const auto before = group.net().stats().snapshot();
+    group.read(n - 1);
+    group.settle();
+    const auto delta = group.net().stats().diff_since(before);
+    // 2 phases: query + write-back.
+    EXPECT_EQ(delta.total_sent(), 4ull * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(BaselineMessages, AbdBoundedOpsAreQuadratic) {
+  for (const std::uint32_t n : {3u, 5u, 9u}) {
+    auto group = make_group(Algorithm::kAbdBounded, n, (n - 1) / 2);
+    const auto before = group.net().stats().snapshot();
+    group.write(Value::from_int64(1));
+    group.settle();
+    const auto delta = group.net().stats().diff_since(before);
+    // 6 phases x [ (n-1) req + (n-1) ack + (n-1)(n-2) echo ].
+    const std::uint64_t expected =
+        6ull * ((n - 1) + (n - 1) + std::uint64_t(n - 1) * (n - 2));
+    EXPECT_EQ(delta.total_sent(), expected) << "n=" << n;
+  }
+}
+
+TEST(BaselineMessages, AttiyaOpsAreLinearDespiteManyPhases) {
+  const std::uint32_t n = 7;
+  auto group = make_group(Algorithm::kAttiya, n, 3);
+  const auto before = group.net().stats().snapshot();
+  group.write(Value::from_int64(1));
+  group.settle();
+  const auto wdelta = group.net().stats().diff_since(before);
+  EXPECT_EQ(wdelta.total_sent(), 7ull * 2 * (n - 1));  // 7 phases, no echo
+
+  const auto before_r = group.net().stats().snapshot();
+  group.read(3);
+  group.settle();
+  const auto rdelta = group.net().stats().diff_since(before_r);
+  EXPECT_EQ(rdelta.total_sent(), 9ull * 2 * (n - 1));  // 9 phases
+}
+
+// ---- wire accounting -------------------------------------------------------------------
+
+TEST(BaselineWire, BoundedLabelSizesDominate) {
+  const std::uint32_t n = 5;
+  auto bounded = make_group(Algorithm::kAbdBounded, n, 2);
+  bounded.write(Value::from_int64(1));
+  bounded.settle();
+  EXPECT_GE(bounded.net().stats().max_control_bits_per_msg(),
+            pow_saturating(n, 5));
+
+  auto attiya = make_group(Algorithm::kAttiya, n, 2);
+  attiya.write(Value::from_int64(1));
+  attiya.settle();
+  EXPECT_GE(attiya.net().stats().max_control_bits_per_msg(),
+            pow_saturating(n, 3));
+  EXPECT_LT(attiya.net().stats().max_control_bits_per_msg(),
+            pow_saturating(n, 5));
+}
+
+TEST(BaselineWire, UnboundedControlBitsGrowWithWriteCount) {
+  auto group = make_group(Algorithm::kAbdUnbounded, 3, 1);
+  group.write(Value::from_int64(1));
+  group.settle();
+  const auto early = group.net().stats().max_control_bits_per_msg();
+  for (int k = 2; k <= 5000; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  const auto late = group.net().stats().max_control_bits_per_msg();
+  EXPECT_GT(late, early);  // the live sequence number got wider
+}
+
+// ---- memory model --------------------------------------------------------------------------
+
+TEST(BaselineMemory, UnboundedAbdIsConstantSize) {
+  auto group = make_group(Algorithm::kAbdUnbounded, 3, 1);
+  group.write(Value::from_int64(1));
+  group.settle();
+  const auto& p1 = group.net().process_as<PhasedProcess>(1);
+  const auto before = p1.local_memory_bytes();
+  for (int k = 2; k <= 100; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  EXPECT_EQ(p1.local_memory_bytes(), before);  // replicas keep one value
+}
+
+TEST(BaselineMemory, ModeledLabelStoresMatchTable1Exponents) {
+  const std::uint32_t n = 5;
+  auto bounded = make_group(Algorithm::kAbdBounded, n, 2);
+  auto attiya = make_group(Algorithm::kAttiya, n, 2);
+  const auto b = bounded.process(1).local_memory_bytes();
+  const auto a = attiya.process(1).local_memory_bytes();
+  EXPECT_GE(b, pow_saturating(n, 6) / 8);
+  EXPECT_GE(a, pow_saturating(n, 5) / 8);
+  EXPECT_GT(b, a);  // O(n^6) > O(n^5)
+}
+
+// ---- replica convergence -----------------------------------------------------------------
+
+TEST(BaselineReplicas, EchoGossipSpreadsFreshValues) {
+  auto group = make_group(Algorithm::kAbdBounded, 5, 2);
+  group.write(Value::from_int64(99));
+  group.settle();
+  for (ProcessId pid = 0; pid < 5; ++pid) {
+    const auto& proc = group.net().process_as<PhasedProcess>(pid);
+    EXPECT_EQ(proc.replica_seq(), 1);
+    EXPECT_EQ(proc.replica_value().to_int64(), 99);
+  }
+}
+
+}  // namespace
+}  // namespace tbr

@@ -1,0 +1,228 @@
+// Codec tests: wire round-trips, framing errors, and — central to the paper —
+// the control-bit accounting of every frame type of every algorithm.
+#include <gtest/gtest.h>
+
+#include "abd/phased_codec.hpp"
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/twobit_codec.hpp"
+
+namespace tbr {
+namespace {
+
+// ---- two-bit codec ---------------------------------------------------------------
+
+TEST(TwoBitCodecTest, WriteFrameRoundTrip) {
+  const auto& codec = twobit_codec();
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kWrite1);
+  msg.has_value = true;
+  msg.value = Value::from_string("payload");
+  msg.wire = codec.account(msg);
+  const auto bytes = codec.encode(msg);
+  const Message back = codec.decode(bytes);
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_TRUE(back.has_value);
+  EXPECT_EQ(back.value, msg.value);
+}
+
+TEST(TwoBitCodecTest, ControlFrameIsOneByte) {
+  const auto& codec = twobit_codec();
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kRead);
+  EXPECT_EQ(codec.encode(msg).size(), 1u);
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kProceed);
+  EXPECT_EQ(codec.encode(msg).size(), 1u);
+}
+
+TEST(TwoBitCodecTest, EveryTypeCostsExactlyTwoControlBits) {
+  const auto& codec = twobit_codec();
+  for (std::uint8_t type = 0; type <= 3; ++type) {
+    Message msg;
+    msg.type = type;
+    if (type <= 1) {
+      msg.has_value = true;
+      msg.value = Value::from_int64(1);
+    }
+    EXPECT_EQ(codec.account(msg).control_bits, 2u) << unsigned(type);
+  }
+}
+
+TEST(TwoBitCodecTest, DataBitsCoverValueAndFraming) {
+  const auto& codec = twobit_codec();
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kWrite0);
+  msg.has_value = true;
+  msg.value = Value::filler(10);
+  EXPECT_EQ(codec.account(msg).data_bits, 32u + 80u);
+  Message control;
+  control.type = static_cast<std::uint8_t>(TwoBitType::kRead);
+  EXPECT_EQ(codec.account(control).data_bits, 0u);
+}
+
+TEST(TwoBitCodecTest, RejectsSequenceNumbersOnTheWire) {
+  const auto& codec = twobit_codec();
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kRead);
+  msg.seq = 7;  // the whole point of the paper: this field must not exist
+  EXPECT_THROW((void)codec.encode(msg), ContractViolation);
+}
+
+TEST(TwoBitCodecTest, RejectsValuelessWriteAndValuedControl) {
+  const auto& codec = twobit_codec();
+  Message w;
+  w.type = static_cast<std::uint8_t>(TwoBitType::kWrite0);
+  EXPECT_THROW((void)codec.encode(w), ContractViolation);
+  Message r;
+  r.type = static_cast<std::uint8_t>(TwoBitType::kProceed);
+  r.has_value = true;
+  r.value = Value::from_int64(1);
+  EXPECT_THROW((void)codec.encode(r), ContractViolation);
+}
+
+TEST(TwoBitCodecTest, DecodeRejectsMalformedFrames) {
+  const auto& codec = twobit_codec();
+  EXPECT_THROW((void)codec.decode(""), ContractViolation);
+  EXPECT_THROW((void)codec.decode("\x07"), ContractViolation);  // bad type
+  // WRITE frame with truncated length prefix.
+  EXPECT_THROW((void)codec.decode(std::string("\x00\x01", 2)),
+               ContractViolation);
+  // Trailing garbage after a READ frame.
+  EXPECT_THROW((void)codec.decode(std::string("\x02junk", 5)),
+               ContractViolation);
+}
+
+TEST(TwoBitCodecTest, TypeNames) {
+  const auto& codec = twobit_codec();
+  EXPECT_EQ(codec.type_name(0), "WRITE0");
+  EXPECT_EQ(codec.type_name(1), "WRITE1");
+  EXPECT_EQ(codec.type_name(2), "READ");
+  EXPECT_EQ(codec.type_name(3), "PROCEED");
+}
+
+TEST(TwoBitCodecTest, EmptyValueWriteRoundTrip) {
+  const auto& codec = twobit_codec();
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(TwoBitType::kWrite0);
+  msg.has_value = true;  // empty payload is a legal register value
+  const Message back = codec.decode(codec.encode(msg));
+  EXPECT_TRUE(back.has_value);
+  EXPECT_TRUE(back.value.empty());
+}
+
+// ---- phased codec -----------------------------------------------------------------
+
+TEST(PhasedCodecTest, RoundTripAllFields) {
+  const PhasedCodec codec(abd_unbounded_spec(), 5);
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kQueryReply);
+  msg.aux = 123456;
+  msg.seq = 987;
+  msg.has_value = true;
+  msg.value = Value::from_string("abc");
+  const Message back = codec.decode(codec.encode(msg));
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_EQ(back.aux, msg.aux);
+  EXPECT_EQ(back.seq, msg.seq);
+  EXPECT_EQ(back.value, msg.value);
+}
+
+TEST(PhasedCodecTest, UnboundedControlBitsGrowWithSeq) {
+  const PhasedCodec codec(abd_unbounded_spec(), 5);
+  Message small;
+  small.type = static_cast<std::uint8_t>(PhasedType::kPhaseReq);
+  small.aux = 1;
+  small.seq = 1;
+  Message large = small;
+  large.seq = (1LL << 40);
+  EXPECT_GT(codec.account(large).control_bits,
+            codec.account(small).control_bits);
+  // Exactly: 3 type bits + minimal encodings.
+  EXPECT_EQ(codec.account(small).control_bits,
+            PhasedCodec::kTypeBits + 1 + 1);
+  EXPECT_EQ(codec.account(large).control_bits,
+            PhasedCodec::kTypeBits + 1 + 41);
+}
+
+TEST(PhasedCodecTest, BoundedLabelDominatesControlBits) {
+  const std::uint32_t n = 7;
+  const PhasedCodec bounded(abd_bounded_spec(), n);
+  const PhasedCodec attiya(attiya_spec(), n);
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kPhaseReq);
+  msg.aux = 65;
+  msg.seq = 1;
+  const auto n5 = pow_saturating(n, 5);
+  const auto n3 = pow_saturating(n, 3);
+  EXPECT_EQ(bounded.account(msg).control_bits,
+            PhasedCodec::kTypeBits + 7 + 1 + n5);
+  EXPECT_EQ(attiya.account(msg).control_bits,
+            PhasedCodec::kTypeBits + 7 + 1 + n3);
+}
+
+TEST(PhasedCodecTest, PhysicalLabelBytesAreCapped) {
+  // n = 32: n^5 bits = 4 MiB — physical frames must stay capped while the
+  // accounting stays analytic.
+  const PhasedCodec codec(abd_bounded_spec(), 32);
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kPhaseAck);
+  msg.aux = 1;
+  const auto bytes = codec.encode(msg);
+  EXPECT_LE(bytes.size(), PhasedCodec::kMaxPhysicalLabelBytes + 64);
+  EXPECT_EQ(codec.account(msg).control_bits,
+            PhasedCodec::kTypeBits + 1 + 1 + pow_saturating(32, 5));
+  // And the capped frame still round-trips.
+  const Message back = codec.decode(bytes);
+  EXPECT_EQ(back.aux, 1);
+}
+
+TEST(PhasedCodecTest, LabelBitsZeroForUnbounded) {
+  const PhasedCodec codec(abd_unbounded_spec(), 9);
+  EXPECT_EQ(codec.label_bits(), 0u);
+}
+
+TEST(PhasedCodecTest, DecodeRejectsTruncation) {
+  const PhasedCodec codec(abd_unbounded_spec(), 3);
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(PhasedType::kPhaseAck);
+  msg.aux = 5;
+  const auto bytes = codec.encode(msg);
+  EXPECT_THROW((void)codec.decode(bytes.substr(0, bytes.size() - 1)),
+               ContractViolation);
+  EXPECT_THROW((void)codec.decode(bytes + "x"), ContractViolation);
+}
+
+TEST(PhasedCodecTest, TypeNames) {
+  const PhasedCodec codec(abd_unbounded_spec(), 3);
+  EXPECT_EQ(codec.type_name(0), "PHASE_REQ");
+  EXPECT_EQ(codec.type_name(1), "PHASE_ACK");
+  EXPECT_EQ(codec.type_name(2), "QUERY_REPLY");
+  EXPECT_EQ(codec.type_name(3), "ECHO");
+}
+
+// ---- spec sanity ---------------------------------------------------------------------
+
+TEST(SpecsTest, PhaseCountsMatchTable1Timing) {
+  // Time per op = 2Δ per phase: Table 1 lines 5-6.
+  EXPECT_EQ(abd_unbounded_spec().write_phases.size(), 1u);   // 2Δ
+  EXPECT_EQ(abd_unbounded_spec().read_phases.size(), 2u);    // 4Δ
+  EXPECT_EQ(abd_bounded_spec().write_phases.size(), 6u);     // 12Δ
+  EXPECT_EQ(abd_bounded_spec().read_phases.size(), 6u);      // 12Δ
+  EXPECT_EQ(attiya_spec().write_phases.size(), 7u);          // 14Δ
+  EXPECT_EQ(attiya_spec().read_phases.size(), 9u);           // 18Δ
+}
+
+TEST(SpecsTest, ReadsStartWithQuery) {
+  EXPECT_EQ(abd_unbounded_spec().read_phases[0], PhaseKind::kQuery);
+  EXPECT_EQ(abd_bounded_spec().read_phases[0], PhaseKind::kQuery);
+  EXPECT_EQ(attiya_spec().read_phases[0], PhaseKind::kQuery);
+}
+
+TEST(SpecsTest, OnlyBoundedAbdEchoes) {
+  EXPECT_FALSE(abd_unbounded_spec().echo);
+  EXPECT_TRUE(abd_bounded_spec().echo);
+  EXPECT_FALSE(attiya_spec().echo);
+}
+
+}  // namespace
+}  // namespace tbr

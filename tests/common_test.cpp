@@ -1,0 +1,232 @@
+// Unit tests for the common kernel: Value, Rng, bits, contracts, TextTable.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/value.hpp"
+
+namespace tbr {
+namespace {
+
+// ---- Value -------------------------------------------------------------------
+
+TEST(ValueTest, DefaultIsEmpty) {
+  const Value v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.size_bits(), 0u);
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  const std::vector<std::int64_t> cases = {
+      0, 1, -1, 42, -123456789, std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t x : cases) {
+    EXPECT_EQ(Value::from_int64(x).to_int64(), x) << x;
+  }
+}
+
+TEST(ValueTest, Int64IsEightBytes) {
+  EXPECT_EQ(Value::from_int64(7).size(), 8u);
+  EXPECT_EQ(Value::from_int64(7).size_bits(), 64u);
+}
+
+TEST(ValueTest, ToInt64RejectsWrongSize) {
+  EXPECT_THROW((void)Value::from_string("abc").to_int64(), ContractViolation);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  const Value v = Value::from_string("hello register");
+  EXPECT_EQ(v.to_string(), "hello register");
+  EXPECT_EQ(v.size(), 14u);
+}
+
+TEST(ValueTest, EqualityComparesBytes) {
+  EXPECT_EQ(Value::from_int64(5), Value::from_int64(5));
+  EXPECT_NE(Value::from_int64(5), Value::from_int64(6));
+  EXPECT_NE(Value::from_string("a"), Value());
+}
+
+TEST(ValueTest, FillerIsDeterministicAndSized) {
+  const Value a = Value::filler(100, 1);
+  const Value b = Value::filler(100, 1);
+  const Value c = Value::filler(100, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 100u);
+}
+
+TEST(ValueTest, DebugStringForms) {
+  EXPECT_EQ(Value::from_int64(42).debug_string(), "int:42");
+  EXPECT_EQ(Value::from_string("abc").debug_string(), "str:abc");
+  EXPECT_EQ(Value::filler(100).debug_string(), "bytes[100]");
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(5, 4), ContractViolation);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0, 1'000'000) != b.uniform(0, 1'000'000)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialRespectsCap) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.exponential(10.0, 50);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(RngTest, PickCoversElements) {
+  Rng rng(5);
+  const std::vector<int> items = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, PickEmptyThrows) {
+  Rng rng(5);
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), ContractViolation);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, copy);
+}
+
+TEST(RngTest, ForkSeedsDiffer) {
+  Rng rng(1);
+  const auto a = rng.fork_seed();
+  const auto b = rng.fork_seed();
+  EXPECT_NE(a, b);
+}
+
+// ---- bits ------------------------------------------------------------------------
+
+TEST(BitsTest, MinBitsUnsigned) {
+  EXPECT_EQ(min_bits_unsigned(0), 1u);
+  EXPECT_EQ(min_bits_unsigned(1), 1u);
+  EXPECT_EQ(min_bits_unsigned(2), 2u);
+  EXPECT_EQ(min_bits_unsigned(3), 2u);
+  EXPECT_EQ(min_bits_unsigned(255), 8u);
+  EXPECT_EQ(min_bits_unsigned(256), 9u);
+  EXPECT_EQ(min_bits_unsigned(std::numeric_limits<std::uint64_t>::max()), 64u);
+}
+
+TEST(BitsTest, MinBitsSeqnoRejectsNegative) {
+  EXPECT_THROW((void)min_bits_seqno(-1), ContractViolation);
+  EXPECT_EQ(min_bits_seqno(1023), 10u);
+}
+
+TEST(BitsTest, PowSaturating) {
+  EXPECT_EQ(pow_saturating(7, 0), 1u);
+  EXPECT_EQ(pow_saturating(7, 2), 49u);
+  EXPECT_EQ(pow_saturating(10, 5), 100000u);
+  EXPECT_EQ(pow_saturating(2, 64), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(BitsTest, BitsToBytesRoundsUp) {
+  EXPECT_EQ(bits_to_bytes(0), 0u);
+  EXPECT_EQ(bits_to_bytes(1), 1u);
+  EXPECT_EQ(bits_to_bytes(8), 1u);
+  EXPECT_EQ(bits_to_bytes(9), 2u);
+}
+
+// ---- contracts ---------------------------------------------------------------------
+
+TEST(ContractsTest, EnsurePassesOnTrue) {
+  EXPECT_NO_THROW(TBR_ENSURE(1 + 1 == 2, "math"));
+}
+
+TEST(ContractsTest, EnsureThrowsWithContext) {
+  try {
+    TBR_ENSURE(false, "custom note");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom note"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ContractsTest, InvariantThrowsContractViolation) {
+  EXPECT_THROW(TBR_INVARIANT(false, "lemma broke"), ContractViolation);
+}
+
+// ---- TextTable ------------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"algo", "msgs"});
+  t.add_row({"twobit", "42"});
+  t.add_row({"abd-unbounded", "6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| algo          | msgs |"), std::string::npos);
+  EXPECT_NE(out.find("| twobit        | 42   |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTableTest, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(TextTableTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_delta_units(2.0), "2.0 D");
+}
+
+}  // namespace
+}  // namespace tbr

@@ -1,0 +1,124 @@
+// Unit tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/flags.hpp"
+
+namespace tbr {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser flags("test", "test parser");
+  flags.add_string("algo", "twobit", "algorithm");
+  flags.add_int("n", 5, "processes");
+  flags.add_bool("verbose", false, "chatty");
+  flags.add_double("fraction", 0.5, "a ratio");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_string("algo"), "twobit");
+  EXPECT_EQ(flags.get_int("n"), 5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(flags.get_double("fraction"), 0.5);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--algo=attiya", "--n=9", "--fraction=0.25"}));
+  EXPECT_EQ(flags.get_string("algo"), "attiya");
+  EXPECT_EQ(flags.get_int("n"), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("fraction"), 0.25);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--n", "13", "--algo", "abd-bounded"}));
+  EXPECT_EQ(flags.get_int("n"), 13);
+  EXPECT_EQ(flags.get_string("algo"), "abd-bounded");
+}
+
+TEST(FlagsTest, BareBooleanSetsTrue) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagsTest, ExplicitBooleanValue) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--verbose=true"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  auto flags2 = make_parser();
+  EXPECT_TRUE(flags2.parse({"--verbose=false"}));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(FlagsTest, PositionalTokensCollected) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"run", "--n=3", "extra"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--frobnicate=1"}));
+  EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, BadIntRejected) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--n=three"}));
+  EXPECT_NE(flags.error().find("expects an integer"), std::string::npos);
+}
+
+TEST(FlagsTest, BadBoolRejected) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--verbose=yes"}));
+  EXPECT_NE(flags.error().find("true/false"), std::string::npos);
+}
+
+TEST(FlagsTest, BadDoubleRejected) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--fraction=half"}));
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--n"}));
+  EXPECT_NE(flags.error().find("needs a value"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpRequested) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  const auto help = flags.help_text();
+  EXPECT_NE(help.find("--algo"), std::string::npos);
+  EXPECT_NE(help.find("default: twobit"), std::string::npos);
+}
+
+TEST(FlagsTest, TypeMismatchIsContractError) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({}));
+  EXPECT_THROW((void)flags.get_int("algo"), ContractViolation);
+  EXPECT_THROW((void)flags.get_string("missing"), ContractViolation);
+}
+
+TEST(FlagsTest, DuplicateDeclarationRejected) {
+  FlagParser flags("t", "t");
+  flags.add_int("n", 1, "doc");
+  EXPECT_THROW(flags.add_string("n", "x", "doc"), ContractViolation);
+}
+
+TEST(FlagsTest, NegativeIntegers) {
+  auto flags = make_parser();
+  EXPECT_TRUE(flags.parse({"--n=-1"}));
+  EXPECT_EQ(flags.get_int("n"), -1);
+}
+
+}  // namespace
+}  // namespace tbr

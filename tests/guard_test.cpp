@@ -1,0 +1,116 @@
+// Unit tests for GuardSet: the predicate-parked continuation primitive that
+// implements the paper's wait statements.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "net/guard.hpp"
+
+namespace tbr {
+namespace {
+
+TEST(GuardTest, FiresWhenPredicateHolds) {
+  GuardSet guards;
+  bool fired = false;
+  int x = 0;
+  guards.park("x>=3", [&] { return x >= 3; }, [&] { fired = true; });
+  guards.poll();
+  EXPECT_FALSE(fired);
+  x = 3;
+  guards.poll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(guards.pending(), 0u);
+}
+
+TEST(GuardTest, FiresOnlyOnce) {
+  GuardSet guards;
+  int count = 0;
+  guards.park("always", [] { return true; }, [&] { ++count; });
+  guards.poll();
+  guards.poll();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(GuardTest, AlreadyTruePredicateWaitsForPoll) {
+  GuardSet guards;
+  bool fired = false;
+  guards.park("true", [] { return true; }, [&] { fired = true; });
+  EXPECT_FALSE(fired);  // park never runs the action inline
+  guards.poll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(GuardTest, ChainedGuardsReachFixpoint) {
+  GuardSet guards;
+  int stage = 0;
+  guards.park("s1", [&] { return stage >= 1; }, [&] { stage = 2; });
+  guards.park("s2", [&] { return stage >= 2; }, [&] { stage = 3; });
+  stage = 1;
+  guards.poll();  // one poll must cascade through both
+  EXPECT_EQ(stage, 3);
+  EXPECT_EQ(guards.pending(), 0u);
+}
+
+TEST(GuardTest, ActionMayParkNewGuard) {
+  GuardSet guards;
+  bool second_fired = false;
+  guards.park("outer", [] { return true; }, [&] {
+    guards.park("inner", [] { return true; }, [&] { second_fired = true; });
+  });
+  guards.poll();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(GuardTest, NestedPollIsCoalesced) {
+  GuardSet guards;
+  int order = 0;
+  int first = 0, second = 0;
+  guards.park("a", [] { return true; }, [&] {
+    first = ++order;
+    guards.poll();  // re-entrant: must not recurse into "b" twice
+  });
+  guards.park("b", [] { return true; }, [&] { second = ++order; });
+  guards.poll();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(GuardTest, UnsatisfiedGuardsStayParked) {
+  GuardSet guards;
+  guards.park("never", [] { return false; }, [] {});
+  guards.park("also-never", [] { return false; }, [] {});
+  guards.poll();
+  EXPECT_EQ(guards.pending(), 2u);
+  const auto labels = guards.pending_labels();
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "never");
+}
+
+TEST(GuardTest, MixedFiringLeavesOthers) {
+  GuardSet guards;
+  bool fired = false;
+  guards.park("no", [] { return false; }, [] {});
+  guards.park("yes", [] { return true; }, [&] { fired = true; });
+  guards.poll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(guards.pending(), 1u);
+}
+
+TEST(GuardTest, NullPredicateRejected) {
+  GuardSet guards;
+  EXPECT_THROW(guards.park("bad", nullptr, [] {}), ContractViolation);
+  EXPECT_THROW(guards.park("bad", [] { return true; }, nullptr),
+               ContractViolation);
+}
+
+TEST(GuardTest, ManyGuardsAllFire) {
+  GuardSet guards;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) {
+    guards.park("g", [] { return true; }, [&] { ++count; });
+  }
+  guards.poll();
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace tbr

@@ -1,0 +1,231 @@
+// Functional tests of the two-bit algorithm on the simulator: reads/writes,
+// group sizes from 1 to 12, the writer fast-read remark, message-count
+// identities from Theorem 2, and crash behaviour within t.
+#include <gtest/gtest.h>
+
+#include "core/twobit_codec.hpp"
+#include "core/twobit_process.hpp"
+#include "workload/sim_register_group.hpp"
+
+namespace tbr {
+namespace {
+
+GroupConfig make_cfg(std::uint32_t n, std::uint32_t t, Value initial,
+                     bool fast_read = false) {
+  GroupConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.writer = 0;
+  cfg.initial = std::move(initial);
+  cfg.writer_fast_read = fast_read;
+  return cfg;
+}
+
+SimRegisterGroup make_group(std::uint32_t n, std::uint32_t t,
+                            std::uint64_t seed = 1, bool fast_read = false) {
+  SimRegisterGroup::Options opt;
+  opt.cfg = make_cfg(n, t, Value::from_int64(0), fast_read);
+  opt.algo = Algorithm::kTwoBit;
+  opt.seed = seed;
+  return SimRegisterGroup(std::move(opt));
+}
+
+TEST(TwoBitBasic, InitialValueReadableEverywhere) {
+  auto group = make_group(5, 2);
+  for (ProcessId pid = 0; pid < 5; ++pid) {
+    const auto out = group.read(pid);
+    EXPECT_EQ(out.value.to_int64(), 0) << "process " << pid;
+    EXPECT_EQ(out.index, 0);
+  }
+}
+
+TEST(TwoBitBasic, WriteThenReadEverywhere) {
+  auto group = make_group(5, 2);
+  group.write(Value::from_int64(41));
+  for (ProcessId pid = 0; pid < 5; ++pid) {
+    const auto out = group.read(pid);
+    EXPECT_EQ(out.value.to_int64(), 41);
+    EXPECT_EQ(out.index, 1);
+  }
+}
+
+TEST(TwoBitBasic, SequenceOfWritesReadsLatest) {
+  auto group = make_group(7, 3);
+  for (int k = 1; k <= 20; ++k) {
+    group.write(Value::from_int64(k * 100));
+    const auto out = group.read(static_cast<ProcessId>(k % 7));
+    EXPECT_EQ(out.value.to_int64(), k * 100);
+    EXPECT_EQ(out.index, k);
+  }
+}
+
+TEST(TwoBitBasic, SingleProcessGroup) {
+  auto group = make_group(1, 0);
+  group.write(Value::from_int64(9));
+  const auto out = group.read(0);
+  EXPECT_EQ(out.value.to_int64(), 9);
+}
+
+TEST(TwoBitBasic, TwoProcessesZeroFaults) {
+  auto group = make_group(2, 0);
+  group.write(Value::from_int64(5));
+  EXPECT_EQ(group.read(1).value.to_int64(), 5);
+  EXPECT_EQ(group.read(0).value.to_int64(), 5);
+}
+
+TEST(TwoBitBasic, StringValuesRoundTrip) {
+  auto group = make_group(3, 1);
+  group.write(Value::from_string("configuration v2"));
+  EXPECT_EQ(group.read(2).value.to_string(), "configuration v2");
+}
+
+TEST(TwoBitBasic, WriterCanReadViaFullProtocol) {
+  auto group = make_group(5, 2);
+  group.write(Value::from_int64(77));
+  const auto out = group.read(0);  // writer reads, no fast path
+  EXPECT_EQ(out.value.to_int64(), 77);
+}
+
+TEST(TwoBitBasic, WriterFastReadIsLocal) {
+  auto group = make_group(5, 2, /*seed=*/1, /*fast_read=*/true);
+  group.write(Value::from_int64(13));
+  const auto before = group.net().stats().total_sent();
+  const auto out = group.read(0);
+  EXPECT_EQ(out.value.to_int64(), 13);
+  EXPECT_EQ(out.latency, 0);  // resolved without any simulated delay
+  EXPECT_EQ(group.net().stats().total_sent(), before);  // and no messages
+}
+
+TEST(TwoBitBasic, SurvivesMinorityCrashBeforeOps) {
+  auto group = make_group(5, 2);
+  group.crash(3);
+  group.crash(4);
+  group.write(Value::from_int64(1000));
+  for (ProcessId pid = 0; pid < 3; ++pid) {
+    EXPECT_EQ(group.read(pid).value.to_int64(), 1000);
+  }
+}
+
+TEST(TwoBitBasic, SurvivesCrashBetweenWrites) {
+  auto group = make_group(7, 3);
+  group.write(Value::from_int64(1));
+  group.crash(6);
+  group.write(Value::from_int64(2));
+  group.crash(5);
+  group.write(Value::from_int64(3));
+  group.crash(4);
+  group.write(Value::from_int64(4));
+  EXPECT_EQ(group.read(1).value.to_int64(), 4);
+  EXPECT_EQ(group.read(3).value.to_int64(), 4);
+}
+
+TEST(TwoBitBasic, ManyWritesLongHistory) {
+  auto group = make_group(3, 1);
+  for (int k = 1; k <= 200; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  const auto out = group.read(2);
+  EXPECT_EQ(out.value.to_int64(), 200);
+  EXPECT_EQ(out.index, 200);
+  // After settling, every process holds the full history (Lemma 4 + Lemma 6).
+  for (ProcessId pid = 0; pid < 3; ++pid) {
+    const auto& proc = group.net().process_as<TwoBitProcess>(pid);
+    EXPECT_EQ(proc.history().size(), 201u);
+  }
+}
+
+// ---- Theorem 2: message counts -----------------------------------------------
+
+TEST(TwoBitTheorem2, WriteCostsNTimesNMinusOneMessagesSteadyState) {
+  for (const std::uint32_t n : {2u, 3u, 5u, 8u}) {
+    auto group = make_group(n, (n - 1) / 2);
+    group.write(Value::from_int64(1));
+    group.settle();  // let the first write's dissemination finish
+    const auto before = group.net().stats().snapshot();
+    group.write(Value::from_int64(2));
+    group.settle();
+    const auto delta = group.net().stats().diff_since(before);
+    // Theorem 2: the writer sends n-1 frames and each of the n-1 others
+    // forwards the value once to every process: n(n-1) messages total.
+    EXPECT_EQ(delta.total_sent(), std::uint64_t{n} * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(TwoBitTheorem2, ReadCostsTwoNMinusOneMessagesSteadyState) {
+  for (const std::uint32_t n : {2u, 3u, 5u, 8u}) {
+    auto group = make_group(n, (n - 1) / 2);
+    group.write(Value::from_int64(1));
+    group.settle();
+    const auto before = group.net().stats().snapshot();
+    const auto out = group.read(n - 1);
+    group.settle();
+    const auto delta = group.net().stats().diff_since(before);
+    EXPECT_EQ(out.value.to_int64(), 1);
+    // n-1 READ frames out, one PROCEED back from each: 2(n-1) total.
+    EXPECT_EQ(delta.total_sent(), 2 * (std::uint64_t{n} - 1)) << "n=" << n;
+    EXPECT_EQ(delta.sent_of_type(
+                  static_cast<std::uint8_t>(TwoBitType::kRead)),
+              std::uint64_t{n} - 1);
+    EXPECT_EQ(delta.sent_of_type(
+                  static_cast<std::uint8_t>(TwoBitType::kProceed)),
+              std::uint64_t{n} - 1);
+  }
+}
+
+TEST(TwoBitTheorem2, EveryMessageCarriesTwoControlBits) {
+  auto group = make_group(5, 2);
+  group.write(Value::from_int64(1));
+  group.read(3);
+  group.settle();
+  EXPECT_EQ(group.net().stats().max_control_bits_per_msg(), 2u);
+}
+
+// ---- direct process-level checks -----------------------------------------------
+
+TEST(TwoBitProcessLevel, RejectsWriteFromNonWriter) {
+  auto group = make_group(3, 1);
+  auto& p1 = group.net().process_as<TwoBitProcess>(1);
+  EXPECT_THROW(
+      p1.start_write(group.net().context(1), Value::from_int64(1), [] {}),
+      ContractViolation);
+}
+
+TEST(TwoBitProcessLevel, RejectsConcurrentOpsOnOneProcess) {
+  auto group = make_group(3, 1);
+  auto& p1 = group.net().process_as<TwoBitProcess>(1);
+  p1.start_read(group.net().context(1), [](const Value&, SeqNo) {});
+  EXPECT_THROW(p1.start_read(group.net().context(1),
+                             [](const Value&, SeqNo) {}),
+               ContractViolation);
+}
+
+TEST(TwoBitProcessLevel, ConfigValidationRejectsBadQuorum) {
+  GroupConfig cfg = make_cfg(4, 2, Value::from_int64(0));
+  EXPECT_THROW(cfg.validate(), ContractViolation);  // needs 2t < n
+}
+
+TEST(TwoBitProcessLevel, HistoriesConvergeAfterSettle) {
+  auto group = make_group(6, 2);
+  for (int k = 1; k <= 10; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  for (ProcessId pid = 0; pid < 6; ++pid) {
+    const auto& proc = group.net().process_as<TwoBitProcess>(pid);
+    EXPECT_EQ(proc.wsync(pid), 10);
+    for (ProcessId j = 0; j < 6; ++j) {
+      EXPECT_EQ(proc.wsync(j), 10) << "i=" << pid << " j=" << j;
+    }
+  }
+}
+
+TEST(TwoBitProcessLevel, LocalMemoryGrowsWithWrites) {
+  auto group = make_group(3, 1);
+  const auto& proc = group.net().process_as<TwoBitProcess>(1);
+  const auto before = proc.local_memory_bytes();
+  for (int k = 1; k <= 50; ++k) group.write(Value::from_int64(k));
+  group.settle();
+  const auto after = proc.local_memory_bytes();
+  EXPECT_GT(after, before);
+  EXPECT_GE(after - before, 50u * 8u);  // at least the 50 new 8-byte values
+}
+
+}  // namespace
+}  // namespace tbr

@@ -1,0 +1,132 @@
+// Property suite: the paper's Lemmas 1-5 and Properties P1/P2, checked as
+// executable invariants after *every* simulator event, across a sweep of
+// group sizes, delay models (including the adversarial flip-flop reorderer)
+// and crash patterns.
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "workload/sim_workload.hpp"
+
+namespace tbr {
+namespace {
+
+struct InvariantCase {
+  std::uint32_t n;
+  std::uint32_t t;
+  std::uint32_t crashes;
+  const char* delay;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<InvariantCase>& info) {
+  const auto& c = info.param;
+  return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "c" +
+         std::to_string(c.crashes) + "_" + c.delay + "_s" +
+         std::to_string(c.seed);
+}
+
+std::unique_ptr<DelayModel> make_delay(const std::string& kind,
+                                       const GroupConfig& cfg) {
+  if (kind == "const") return make_constant_delay(100);
+  if (kind == "uniform") return make_uniform_delay(1, 1000);
+  if (kind == "expo") return make_exponential_delay(200, 5000);
+  if (kind == "flipflop") return make_flipflop_delay(5, 2000, cfg.n);
+  if (kind == "straggler") {
+    return make_straggler_delay(cfg.n - 1, 3000, 10);
+  }
+  TBR_ENSURE(false, "unknown delay kind");
+  return nullptr;
+}
+
+class TwoBitInvariantSweep : public testing::TestWithParam<InvariantCase> {};
+
+TEST_P(TwoBitInvariantSweep, LemmasHoldOnEveryEvent) {
+  const auto& c = GetParam();
+  SimWorkloadOptions opt;
+  opt.cfg.n = c.n;
+  opt.cfg.t = c.t;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = Algorithm::kTwoBit;
+  opt.seed = c.seed;
+  opt.ops_per_process = 12;
+  opt.writer_read_fraction = 0.25;
+  opt.think_time_max = 500;
+  opt.crashes = c.crashes;
+  opt.crash_horizon = 20'000;
+  opt.invariant_checks = true;
+  opt.delay_factory = [kind = std::string(c.delay)](const GroupConfig& cfg) {
+    return make_delay(kind, cfg);
+  };
+
+  const auto result = run_sim_workload(opt);
+  EXPECT_TRUE(result.drained) << "simulation did not drain";
+  EXPECT_GT(result.invariant_checks, 0u);
+  // Liveness (Lemmas 8/9): every never-crashed process finished its quota.
+  EXPECT_EQ(result.completed_by_correct, result.quota_of_correct);
+  // And the history is atomic, while we are at it.
+  const auto check = result.check_atomicity(opt.cfg.initial);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+std::vector<InvariantCase> invariant_cases() {
+  std::vector<InvariantCase> cases;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = {
+      {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {7, 3}, {9, 4}};
+  const std::vector<const char*> delays = {"const", "uniform", "flipflop"};
+  std::uint64_t seed = 1;
+  for (const auto& [n, t] : sizes) {
+    for (const auto* delay : delays) {
+      cases.push_back({n, t, 0, delay, seed++});
+    }
+  }
+  // Crashy runs (faulty minority), all delay models.
+  const std::vector<const char*> all_delays = {"const", "uniform", "expo",
+                                               "flipflop", "straggler"};
+  for (const auto* delay : all_delays) {
+    cases.push_back({5, 2, 2, delay, seed++});
+    cases.push_back({7, 3, 3, delay, seed++});
+  }
+  // Seed diversity on the nastiest configuration.
+  for (std::uint64_t s = 100; s < 112; ++s) {
+    cases.push_back({6, 2, 2, "flipflop", s});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TwoBitInvariantSweep,
+                         testing::ValuesIn(invariant_cases()), case_name);
+
+// Writer-crash runs: the writer dying mid-write must leave every invariant
+// and atomicity intact (the final write may hang in limbo).
+class TwoBitWriterCrashSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoBitWriterCrashSweep, WriterCrashKeepsInvariants) {
+  SimWorkloadOptions opt;
+  opt.cfg.n = 5;
+  opt.cfg.t = 2;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = Algorithm::kTwoBit;
+  opt.seed = GetParam();
+  opt.ops_per_process = 10;
+  opt.think_time_max = 300;
+  opt.crashes = 2;
+  opt.allow_writer_crash = true;
+  opt.crash_horizon = 8'000;
+  opt.invariant_checks = true;
+  opt.delay_factory = [](const GroupConfig&) {
+    return make_uniform_delay(1, 800);
+  };
+
+  const auto result = run_sim_workload(opt);
+  EXPECT_TRUE(result.drained);
+  const auto check = result.check_atomicity(opt.cfg.initial);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoBitWriterCrashSweep,
+                         testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace tbr

@@ -1,0 +1,171 @@
+// Tests of the workload driver itself: determinism, quotas, crash plumbing,
+// histogram collection, and the SimRegisterGroup facade.
+#include <gtest/gtest.h>
+
+#include "workload/sim_workload.hpp"
+
+namespace tbr {
+namespace {
+
+SimWorkloadOptions base_options(std::uint64_t seed = 1) {
+  SimWorkloadOptions opt;
+  opt.cfg.n = 5;
+  opt.cfg.t = 2;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = Algorithm::kTwoBit;
+  opt.seed = seed;
+  opt.ops_per_process = 8;
+  opt.think_time_max = 300;
+  return opt;
+}
+
+TEST(SimWorkloadTest, CompletesAllOpsWithoutCrashes) {
+  const auto result = run_sim_workload(base_options());
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.completed_by_correct, result.quota_of_correct);
+  EXPECT_EQ(result.quota_of_correct, 5u * 8u);
+  EXPECT_EQ(result.ops.size(), 5u * 8u);
+  EXPECT_EQ(result.crashes, 0u);
+}
+
+TEST(SimWorkloadTest, DeterministicForSameSeed) {
+  const auto a = run_sim_workload(base_options(42));
+  const auto b = run_sim_workload(base_options(42));
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.stats.total_sent(), b.stats.total_sent());
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].start.tick, b.ops[i].start.tick);
+    EXPECT_EQ(a.ops[i].index, b.ops[i].index);
+  }
+}
+
+TEST(SimWorkloadTest, DifferentSeedsDiffer) {
+  const auto a = run_sim_workload(base_options(1));
+  const auto b = run_sim_workload(base_options(2));
+  EXPECT_NE(a.duration, b.duration);
+}
+
+TEST(SimWorkloadTest, WriterWritesReadersRead) {
+  const auto result = run_sim_workload(base_options());
+  for (const auto& op : result.ops) {
+    if (op.kind == OpRecord::Kind::kWrite) {
+      EXPECT_EQ(op.proc, 0u);
+    } else {
+      EXPECT_NE(op.proc, 0u);  // writer_read_fraction = 0 here
+    }
+  }
+}
+
+TEST(SimWorkloadTest, WriterReadFractionMixesOps) {
+  auto opt = base_options();
+  opt.writer_read_fraction = 0.5;
+  opt.ops_per_process = 30;
+  const auto result = run_sim_workload(opt);
+  int writer_reads = 0;
+  int writer_writes = 0;
+  for (const auto& op : result.ops) {
+    if (op.proc != 0) continue;
+    (op.kind == OpRecord::Kind::kRead ? writer_reads : writer_writes)++;
+  }
+  EXPECT_GT(writer_reads, 0);
+  EXPECT_GT(writer_writes, 0);
+}
+
+TEST(SimWorkloadTest, CrashesReduceCompletions) {
+  auto opt = base_options();
+  opt.crashes = 2;
+  opt.crash_horizon = 5'000;
+  opt.ops_per_process = 10;
+  const auto result = run_sim_workload(opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.crashes, 2u);
+  EXPECT_EQ(result.quota_of_correct, 3u * 10u);
+  EXPECT_EQ(result.completed_by_correct, result.quota_of_correct)
+      << "correct processes must still finish everything";
+}
+
+TEST(SimWorkloadTest, RejectsOverBudgetCrashes) {
+  auto opt = base_options();
+  opt.crashes = 3;  // t = 2
+  EXPECT_THROW((void)run_sim_workload(opt), ContractViolation);
+}
+
+TEST(SimWorkloadTest, LatencyHistogramsFilled) {
+  const auto result = run_sim_workload(base_options());
+  EXPECT_EQ(result.write_latency.count(), 8u);
+  EXPECT_EQ(result.read_latency.count(), 4u * 8u);
+  EXPECT_GT(result.write_latency.min(), 0);
+}
+
+TEST(SimWorkloadTest, InvariantChecksOnlyForTwoBit) {
+  auto opt = base_options();
+  opt.algo = Algorithm::kAbdUnbounded;
+  opt.invariant_checks = true;
+  EXPECT_THROW((void)run_sim_workload(opt), ContractViolation);
+}
+
+TEST(SimWorkloadTest, WorksForEveryAlgorithm) {
+  for (const auto algo : all_algorithms()) {
+    auto opt = base_options();
+    opt.algo = algo;
+    opt.ops_per_process = 4;
+    const auto result = run_sim_workload(opt);
+    EXPECT_TRUE(result.drained) << algorithm_name(algo);
+    EXPECT_EQ(result.completed_by_correct, result.quota_of_correct)
+        << algorithm_name(algo);
+    const auto check = result.check_atomicity(opt.cfg.initial);
+    EXPECT_TRUE(check.ok) << algorithm_name(algo) << ": " << check.error;
+  }
+}
+
+TEST(SimWorkloadTest, ZeroOpsDrainsImmediately) {
+  auto opt = base_options();
+  opt.ops_per_process = 0;
+  const auto result = run_sim_workload(opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_TRUE(result.ops.empty());
+  EXPECT_EQ(result.stats.total_sent(), 0u);
+}
+
+// ---- SimRegisterGroup facade edge cases ------------------------------------------
+
+TEST(SimRegisterGroupTest, WriteOnCrashedWriterThrows) {
+  SimRegisterGroup::Options opt;
+  opt.cfg.n = 3;
+  opt.cfg.t = 1;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  SimRegisterGroup group(std::move(opt));
+  group.crash(0);
+  EXPECT_THROW((void)group.write(Value::from_int64(1)), ContractViolation);
+}
+
+TEST(SimRegisterGroupTest, ReadOnCrashedReaderThrows) {
+  SimRegisterGroup::Options opt;
+  opt.cfg.n = 3;
+  opt.cfg.t = 1;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  SimRegisterGroup group(std::move(opt));
+  group.crash(2);
+  EXPECT_THROW((void)group.read(2), ContractViolation);
+}
+
+TEST(SimRegisterGroupTest, WriteBlockedByMajorityCrashFailsLoudly) {
+  // With more than t crashes the quorum is unreachable: the blocking write
+  // must fail by contract, not hang (the sim drains and reports).
+  SimRegisterGroup::Options opt;
+  opt.cfg.n = 3;
+  opt.cfg.t = 1;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  SimRegisterGroup group(std::move(opt));
+  group.crash(1);
+  group.crash(2);  // beyond t: model violated on purpose
+  EXPECT_THROW((void)group.write(Value::from_int64(1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tbr
