@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -10,6 +11,14 @@
 #include "workload/sim_workload.hpp"
 
 namespace tbr::bench {
+
+/// CI smoke mode (tools/run_benches.sh --quick): drivers shrink their arg
+/// sweeps and repetition counts so the whole bench suite stays under a few
+/// minutes while still exercising every code path and emitting every JSON.
+inline bool quick_mode() {
+  const char* flag = std::getenv("TBR_BENCH_QUICK");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
 
 inline constexpr Tick kDelta = 1000;  // one Δ in virtual ticks
 

@@ -52,8 +52,11 @@ void run() {
       "every schedule of each instance checked for Lemma 10 atomicity, "
       "Lemma 8/9 liveness, Lemmas 2-5 + P1/P2 invariants");
 
+  // Quick (CI smoke) mode trades exhaustiveness for time: the bounded rows
+  // become budget-capped frontiers and the walk counts shrink, but every
+  // instance still runs and still reports violations = 0.
   ExploreOptions opt;
-  opt.max_nodes = 2'000'000;
+  opt.max_nodes = quick_mode() ? 50'000 : 2'000'000;
 
   TextTable table({"instance", "prefixes replayed", "terminal schedules",
                    "max depth", "exhaustive", "violations"});
@@ -106,7 +109,7 @@ void run() {
     };
     s.ops = {w(1), w(2, 0)};
     ExploreOptions small = opt;
-    small.max_nodes = 200'000;
+    small.max_nodes = quick_mode() ? 50'000 : 200'000;
     add_row(table, "ablated (window=1)", s, small);
   }
   std::cout << table.render() << "\n";
@@ -116,8 +119,9 @@ void run() {
   {
     auto s = scenario(5, 2);
     s.ops = {w(1), w(2, 0), r(1), r(3), r(4, 2)};
-    const auto result = random_walks(s, 4'000, 17);
-    walks.add_row({"n=5: 2 writes, 3 reads", "4,000",
+    const std::uint64_t count = quick_mode() ? 400 : 4'000;
+    const auto result = random_walks(s, count, 17);
+    walks.add_row({"n=5: 2 writes, 3 reads", format_count(count),
                    std::to_string(result.max_depth_seen),
                    result.ok() ? "0" : format_count(result.violations_found)});
   }
@@ -126,8 +130,9 @@ void run() {
     s.ops = {w(1), r(1), r(4), r(6, 1)};
     s.max_crashes = 2;
     s.crash_candidates = {2, 3, 5};
-    const auto result = random_walks(s, 2'000, 29);
-    walks.add_row({"n=7: crashes free-range", "2,000",
+    const std::uint64_t count = quick_mode() ? 200 : 2'000;
+    const auto result = random_walks(s, count, 29);
+    walks.add_row({"n=7: crashes free-range", format_count(count),
                    std::to_string(result.max_depth_seen),
                    result.ok() ? "0" : format_count(result.violations_found)});
   }

@@ -3,22 +3,9 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "kvstore/shard_router.hpp"
 
 namespace tbr {
-
-namespace {
-
-/// FNV-1a 64-bit: stable key placement independent of libstdc++ version.
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 KvStore::KvStore(Options options)
     : n_(options.n), slots_(options.slots) {
@@ -52,7 +39,9 @@ KvStore::KvStore(Options options)
 }
 
 std::uint32_t KvStore::slot_of(std::string_view key) const {
-  return static_cast<std::uint32_t>(fnv1a(key) % slots_);
+  // Same FNV-1a the sharded engine routes with (full hash mod slots: the
+  // flat store predates the split-hash router and keeps its placement).
+  return static_cast<std::uint32_t>(ShardRouter::hash(key) % slots_);
 }
 
 ProcessId KvStore::home_node(std::string_view key) const {

@@ -54,6 +54,7 @@ MuxProcess::MuxProcess(std::uint32_t slots,
   TBR_ENSURE(slot_cfg != nullptr, "mux needs a slot config source");
   slots_.reserve(slots);
   contexts_.reserve(slots);
+  batch_versions_.assign(slots, 0);
   for (std::uint32_t s = 0; s < slots; ++s) {
     const GroupConfig cfg = slot_cfg(s);
     slots_.push_back(factory
@@ -103,6 +104,126 @@ void MuxProcess::start_read(NetworkContext& net, std::uint32_t slot_index,
   net_ = &net;
   TBR_ENSURE(slot_index < slots_.size(), "slot out of range");
   slots_[slot_index]->start_read(*contexts_[slot_index], std::move(done));
+}
+
+// ---- batching window --------------------------------------------------------
+//
+// A batch becomes a set of per-slot chains. Each chain is a sequence of
+// protocol *steps* in client arrival order; coalescing merges a run of
+// consecutive reads into one read step (every caller shares the round's
+// (value, index)) and — opt-in — a run of consecutive writes into one write
+// step carrying only the last value. Chains for different slots are
+// independent registers, so they are all started at once and interleave
+// freely in the underlying network.
+
+struct MuxProcess::BatchPlan {
+  struct Step {
+    bool is_write = false;
+    Value value;  ///< surviving write value (write steps only)
+    std::vector<BatchWriteDone> write_dones;
+    std::vector<RegisterProcessBase::ReadDone> read_dones;
+  };
+  struct Chain {
+    std::uint32_t slot = 0;
+    std::vector<Step> steps;
+  };
+  std::vector<Chain> chains;
+  std::size_t outstanding = 0;  ///< chains not yet run to completion
+  std::function<void()> done;
+};
+
+void MuxProcess::start_batch(NetworkContext& net, std::vector<BatchOp> ops,
+                             bool coalesce_writes, std::function<void()> done,
+                             BatchStats* stats) {
+  net_ = &net;
+  TBR_ENSURE(done != nullptr, "batch needs a completion callback");
+  TBR_ENSURE(!ops.empty(), "batch must contain at least one operation");
+  if (stats != nullptr) {
+    stats->batches += 1;
+    stats->client_ops += ops.size();
+    stats->max_batch_ops = std::max(
+        stats->max_batch_ops, static_cast<std::uint64_t>(ops.size()));
+  }
+
+  // Partition into arrival-order chains per slot.
+  std::vector<std::vector<BatchOp>> per_slot(slots_.size());
+  for (auto& op : ops) {
+    TBR_ENSURE(op.slot < slots_.size(), "batch op for unknown slot");
+    per_slot[op.slot].push_back(std::move(op));
+  }
+
+  auto plan = std::make_shared<BatchPlan>();
+  for (std::uint32_t s = 0; s < per_slot.size(); ++s) {
+    if (per_slot[s].empty()) continue;
+    BatchPlan::Chain chain;
+    chain.slot = s;
+    for (auto& op : per_slot[s]) {
+      const bool extends_run = !chain.steps.empty() &&
+                               chain.steps.back().is_write == op.is_write;
+      if (op.is_write) {
+        if (coalesce_writes && extends_run) {
+          auto& step = chain.steps.back();
+          step.value = std::move(op.value);  // last write wins
+          step.write_dones.push_back(std::move(op.write_done));
+          if (stats != nullptr) stats->absorbed_writes += 1;
+        } else {
+          BatchPlan::Step step;
+          step.is_write = true;
+          step.value = std::move(op.value);
+          step.write_dones.push_back(std::move(op.write_done));
+          chain.steps.push_back(std::move(step));
+          if (stats != nullptr) stats->protocol_writes += 1;
+        }
+      } else {
+        if (extends_run) {
+          chain.steps.back().read_dones.push_back(std::move(op.read_done));
+          if (stats != nullptr) stats->coalesced_reads += 1;
+        } else {
+          BatchPlan::Step step;
+          step.read_dones.push_back(std::move(op.read_done));
+          chain.steps.push_back(std::move(step));
+          if (stats != nullptr) stats->protocol_reads += 1;
+        }
+      }
+    }
+    plan->chains.push_back(std::move(chain));
+  }
+  plan->outstanding = plan->chains.size();
+  plan->done = std::move(done);
+
+  for (std::size_t c = 0; c < plan->chains.size(); ++c) {
+    run_batch_chain(plan, c, 0);
+  }
+}
+
+void MuxProcess::run_batch_chain(std::shared_ptr<BatchPlan> plan,
+                                 std::size_t chain, std::size_t step) {
+  auto& ch = plan->chains[chain];
+  if (step == ch.steps.size()) {
+    if (--plan->outstanding == 0) plan->done();
+    return;
+  }
+  auto& st = ch.steps[step];
+  if (st.is_write) {
+    const SeqNo version = ++batch_versions_[ch.slot];
+    start_write(*net_, ch.slot, std::move(st.value),
+                [this, plan, chain, step, version] {
+                  auto& dones = plan->chains[chain].steps[step].write_dones;
+                  for (std::size_t k = 0; k < dones.size(); ++k) {
+                    // Only the run's last write reached the register.
+                    if (dones[k]) dones[k](version, k + 1 != dones.size());
+                  }
+                  run_batch_chain(plan, chain, step + 1);
+                });
+  } else {
+    start_read(*net_, ch.slot,
+               [this, plan, chain, step](const Value& v, SeqNo index) {
+                 for (auto& done : plan->chains[chain].steps[step].read_dones) {
+                   if (done) done(v, index);
+                 }
+                 run_batch_chain(plan, chain, step + 1);
+               });
+  }
 }
 
 RegisterProcessBase& MuxProcess::slot(std::uint32_t index) {

@@ -13,6 +13,8 @@
 // data_bits so the overhead stays visible in benches.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -20,6 +22,28 @@
 #include "net/register_process.hpp"
 
 namespace tbr {
+
+/// Tally of what a batching window saved. Single-threaded per shard; the
+/// sharded store aggregates snapshots across shards under its own locks.
+struct BatchStats {
+  std::uint64_t batches = 0;          ///< start_batch invocations
+  std::uint64_t client_ops = 0;       ///< operations admitted to batches
+  std::uint64_t protocol_reads = 0;   ///< read rounds actually issued
+  std::uint64_t protocol_writes = 0;  ///< write rounds actually issued
+  std::uint64_t coalesced_reads = 0;  ///< reads served by another op's round
+  std::uint64_t absorbed_writes = 0;  ///< writes absorbed by last-write-wins
+  std::uint64_t max_batch_ops = 0;    ///< largest single batch seen
+
+  void merge(const BatchStats& other) {
+    batches += other.batches;
+    client_ops += other.client_ops;
+    protocol_reads += other.protocol_reads;
+    protocol_writes += other.protocol_writes;
+    coalesced_reads += other.coalesced_reads;
+    absorbed_writes += other.absorbed_writes;
+    max_batch_ops = std::max(max_batch_ops, other.max_batch_ops);
+  }
+};
 
 class MuxProcess final : public ProcessBase {
  public:
@@ -46,6 +70,40 @@ class MuxProcess final : public ProcessBase {
   void start_read(NetworkContext& net, std::uint32_t slot,
                   RegisterProcessBase::ReadDone done);
 
+  // ---- batched operations (the sharded engine's batching window) -----------------
+  /// Write completion in a batch: `version` is the slot register's index
+  /// the write landed as (counted here — valid as long as every write to
+  /// the slot goes through this mux, which the SWMR home-node placement
+  /// guarantees); `absorbed` marks a write whose value was replaced by a
+  /// later queued write before reaching the register.
+  using BatchWriteDone = std::function<void(SeqNo version, bool absorbed)>;
+
+  /// One client operation bound for this node: a read issued at this
+  /// replica, or a write whose slot is homed here.
+  struct BatchOp {
+    std::uint32_t slot = 0;
+    bool is_write = false;
+    Value value;  ///< writes only
+    BatchWriteDone write_done;
+    RegisterProcessBase::ReadDone read_done;
+  };
+
+  /// Execute a window's worth of client operations in as few protocol
+  /// rounds as the register spec allows. Ops are grouped per slot into
+  /// arrival-order chains (one register admits one operation at a time per
+  /// process); chains for distinct slots proceed concurrently. Within a
+  /// chain, a run of consecutive reads shares ONE protocol read (every
+  /// waiting client gets the same (value, index) — all of them linearize at
+  /// that round's point, inside each caller's interval), and, when
+  /// `coalesce_writes` is set, a run of consecutive writes collapses
+  /// last-write-wins into ONE protocol write (the absorbed writes linearize
+  /// immediately before the surviving one; no read can observe the skipped
+  /// values because none ever reaches the register). `done` fires once
+  /// every chain has completed; `stats`, when given, tallies the savings.
+  void start_batch(NetworkContext& net, std::vector<BatchOp> ops,
+                   bool coalesce_writes, std::function<void()> done,
+                   BatchStats* stats = nullptr);
+
   std::uint32_t slot_count() const {
     return static_cast<std::uint32_t>(slots_.size());
   }
@@ -56,10 +114,17 @@ class MuxProcess final : public ProcessBase {
 
  private:
   class SlotContext;
+  struct BatchPlan;  // per-slot chains of coalesced protocol steps
+
+  void run_batch_chain(std::shared_ptr<BatchPlan> plan, std::size_t chain,
+                       std::size_t step);
 
   ProcessId self_;
   std::vector<std::unique_ptr<RegisterProcessBase>> slots_;
   std::vector<std::unique_ptr<SlotContext>> contexts_;
+  /// Protocol writes issued per slot via start_batch; tracks the slot
+  /// register's index because this node is the slot's single writer.
+  std::vector<SeqNo> batch_versions_;
   NetworkContext* net_ = nullptr;  // stable per runtime; stashed on entry
   bool crashed_ = false;
 };

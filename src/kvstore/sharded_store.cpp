@@ -1,0 +1,409 @@
+#include "kvstore/sharded_store.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "runtime/affinity.hpp"
+
+namespace tbr {
+
+namespace {
+
+/// Resolve a promise that a stalled batch may also try to fail later (or
+/// vice versa): first resolution wins, the loser is a no-op.
+template <typename P, typename V>
+void fulfill(const std::shared_ptr<P>& promise, V&& value) {
+  try {
+    promise->set_value(std::forward<V>(value));
+  } catch (const std::future_error&) {
+  }
+}
+
+template <typename P>
+void fail(const std::shared_ptr<P>& promise, const std::string& why) {
+  try {
+    promise->set_exception(
+        std::make_exception_ptr(std::runtime_error(why)));
+  } catch (const std::future_error&) {
+  }
+}
+
+}  // namespace
+
+/// One queued client request (or a crash marker) bound for a shard worker.
+struct ShardedKvStore::ShardOp {
+  enum class Kind { kPut, kGet, kCrash };
+  Kind kind = Kind::kGet;
+  std::uint32_t slot = 0;
+  /// kPut: home replica. kGet: requested reader (kAnyReplica = rotate).
+  /// kCrash: the victim.
+  ProcessId node = kNoProcess;
+  Value value;  ///< kPut payload
+  std::shared_ptr<std::promise<PutResult>> put_done;
+  std::shared_ptr<std::promise<GetResult>> get_done;
+};
+
+/// Everything one register group owns. The worker thread is the only one
+/// touching `net` and the plain fields below it; cross-thread state is the
+/// mailbox, the inflight counter, and the report snapshot, each with its
+/// own synchronization.
+struct ShardedKvStore::Shard {
+  std::uint32_t id = 0;
+  std::uint32_t n = 0;
+  bool coalesce_writes = true;
+  std::size_t max_batch = 0;
+  bool pin = false;
+
+  MailboxT<ShardOp> mailbox;
+
+  // Worker-only.
+  std::unique_ptr<SimNetwork> net;
+  BatchStats batch;
+  std::uint64_t failed_ops = 0;
+  ProcessId next_reader = 0;
+  /// A batch stalled (more than t crashes, or an event-budget blowout).
+  /// The stalled registers keep their one-op-at-a-time guard armed, so no
+  /// further protocol operation may be issued here: every later client op
+  /// fails fast instead.
+  bool lost_liveness = false;
+
+  // drain(): ops accepted but not yet resolved.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::int64_t inflight = 0;
+
+  // Published after every window; readable from any thread.
+  mutable std::mutex report_mu;
+  ShardReport report;
+
+  void op_accepted() {
+    const std::scoped_lock lock(idle_mu);
+    ++inflight;
+  }
+  void ops_resolved(std::int64_t count) {
+    {
+      const std::scoped_lock lock(idle_mu);
+      inflight -= count;
+      TBR_ENSURE(inflight >= 0, "inflight underflow");
+    }
+    idle_cv.notify_all();
+  }
+};
+
+ShardedKvStore::ShardedKvStore(Options options)
+    : opt_(std::move(options)),
+      router_(opt_.shards, opt_.slots_per_shard, opt_.n) {
+  TBR_ENSURE(opt_.shards >= 1, "store needs at least one shard");
+  const std::uint32_t n = opt_.n;
+  const std::uint32_t t = opt_.t;
+  const Value initial = opt_.initial;
+  auto slot_cfg = [n, t, initial](std::uint32_t slot) {
+    GroupConfig cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.writer = slot % n;  // shard-internal placement, as in KvStore
+    cfg.initial = initial;
+    cfg.validate();
+    return cfg;
+  };
+
+  shards_.reserve(opt_.shards);
+  for (std::uint32_t s = 0; s < opt_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = s;
+    shard->n = n;
+    shard->coalesce_writes = opt_.coalesce_writes;
+    shard->max_batch = opt_.max_batch;
+    shard->pin = opt_.pin_shard_threads;
+
+    std::vector<std::unique_ptr<ProcessBase>> processes;
+    processes.reserve(n);
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      processes.push_back(std::make_unique<MuxProcess>(
+          opt_.slots_per_shard, slot_cfg, pid, opt_.register_factory));
+    }
+    SimNetwork::Options net_opt;
+    net_opt.seed = opt_.seed ^ (0x5A17ULL * (s + 1));
+    net_opt.service_time = opt_.service_time;
+    net_opt.delay = opt_.delay_factory
+                        ? opt_.delay_factory(s)
+                        : make_constant_delay(opt_.delay_ticks);
+    shard->net = std::make_unique<SimNetwork>(std::move(processes),
+                                              std::move(net_opt));
+    shards_.push_back(std::move(shard));
+  }
+
+  workers_.reserve(opt_.shards);
+  for (auto& shard : shards_) {
+    workers_.emplace_back([s = shard.get()](std::stop_token st) {
+      worker_loop(*s, st);
+    });
+  }
+}
+
+ShardedKvStore::~ShardedKvStore() {
+  for (auto& shard : shards_) shard->mailbox.close();
+  workers_.clear();  // jthread: request_stop + join (drains queued windows)
+}
+
+std::uint32_t ShardedKvStore::shard_count() const noexcept {
+  return static_cast<std::uint32_t>(shards_.size());
+}
+
+std::uint32_t ShardedKvStore::node_count() const noexcept { return opt_.n; }
+
+ShardedKvStore::Shard& ShardedKvStore::shard_for(
+    std::string_view key, ShardRouter::Placement& out) {
+  out = router_.place(key);
+  return *shards_[out.shard];
+}
+
+// ---- client API --------------------------------------------------------------
+
+std::future<ShardedKvStore::PutResult> ShardedKvStore::put_async(
+    std::string_view key, Value value) {
+  ShardRouter::Placement at;
+  Shard& shard = shard_for(key, at);
+  auto promise = std::make_shared<std::promise<PutResult>>();
+  auto future = promise->get_future();
+  ShardOp op;
+  op.kind = ShardOp::Kind::kPut;
+  op.slot = at.slot;
+  op.node = at.home;
+  op.value = std::move(value);
+  op.put_done = promise;
+  shard.op_accepted();
+  if (!shard.mailbox.push(std::move(op))) {
+    shard.ops_resolved(1);
+    fail(promise, "put(" + std::string(key) + "): store is shut down");
+  }
+  return future;
+}
+
+std::future<ShardedKvStore::GetResult> ShardedKvStore::get_async(
+    std::string_view key, ProcessId reader) {
+  ShardRouter::Placement at;
+  Shard& shard = shard_for(key, at);
+  TBR_ENSURE(reader == kAnyReplica || reader < opt_.n,
+             "reader out of range");
+  auto promise = std::make_shared<std::promise<GetResult>>();
+  auto future = promise->get_future();
+  ShardOp op;
+  op.kind = ShardOp::Kind::kGet;
+  op.slot = at.slot;
+  op.node = reader;
+  op.get_done = promise;
+  shard.op_accepted();
+  if (!shard.mailbox.push(std::move(op))) {
+    shard.ops_resolved(1);
+    fail(promise, "get(" + std::string(key) + "): store is shut down");
+  }
+  return future;
+}
+
+ShardedKvStore::PutResult ShardedKvStore::put(std::string_view key,
+                                              Value value) {
+  return put_async(key, std::move(value)).get();
+}
+
+ShardedKvStore::GetResult ShardedKvStore::get(std::string_view key,
+                                              ProcessId reader) {
+  return get_async(key, reader).get();
+}
+
+void ShardedKvStore::crash(std::uint32_t shard, ProcessId node) {
+  TBR_ENSURE(shard < shards_.size(), "shard out of range");
+  TBR_ENSURE(node < opt_.n, "node out of range");
+  ShardOp op;
+  op.kind = ShardOp::Kind::kCrash;
+  op.node = node;
+  Shard& s = *shards_[shard];
+  s.op_accepted();
+  if (!s.mailbox.push(std::move(op))) s.ops_resolved(1);
+}
+
+void ShardedKvStore::drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->idle_mu);
+    shard->idle_cv.wait(lock, [&] { return shard->inflight == 0; });
+  }
+}
+
+// ---- observability ------------------------------------------------------------
+
+ShardedKvStore::ShardReport ShardedKvStore::shard_report(
+    std::uint32_t shard) const {
+  TBR_ENSURE(shard < shards_.size(), "shard out of range");
+  const std::scoped_lock lock(shards_[shard]->report_mu);
+  return shards_[shard]->report;
+}
+
+BatchStats ShardedKvStore::batch_stats() const {
+  BatchStats merged;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    merged.merge(shard_report(s).batch);
+  }
+  return merged;
+}
+
+std::uint64_t ShardedKvStore::frames_sent() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    total += shard_report(s).net.total_sent();
+  }
+  return total;
+}
+
+// ---- the shard worker ---------------------------------------------------------
+
+void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
+  if (shard.pin) (void)pin_current_thread(shard.id);
+
+  while (true) {
+    std::deque<ShardOp> window = shard.mailbox.pop_all(st, shard.max_batch);
+    if (window.empty()) return;  // closed and drained, or stop requested
+
+    // Crash markers apply between batching windows: everything in this
+    // window is planned against the post-crash group.
+    std::int64_t resolved = 0;
+    for (auto& op : window) {
+      if (op.kind != ShardOp::Kind::kCrash) continue;
+      shard.net->crash_now(op.node);
+      ++resolved;
+    }
+
+    // A shard that stalled once can never complete another quorum — and
+    // its stalled registers still hold their one-op-per-process guard, so
+    // issuing into them would be a contract violation. Everything fails
+    // fast from here on.
+    if (shard.lost_liveness) {
+      for (auto& op : window) {
+        if (op.kind == ShardOp::Kind::kCrash) continue;
+        const std::string why = "shard " + std::to_string(shard.id) +
+                                " lost liveness; operations are refused";
+        if (op.kind == ShardOp::Kind::kPut) {
+          fail(op.put_done, "put: " + why);
+        } else {
+          fail(op.get_done, "get: " + why);
+        }
+        ++resolved;
+        ++shard.failed_ops;
+      }
+      publish_report(shard);
+      shard.ops_resolved(resolved);
+      continue;
+    }
+
+    // Plan the window: one MuxProcess batch per replica that has work.
+    // Reads go to their chosen replica, writes to their slot's home; ops
+    // whose replica has crashed fail fast, before any protocol traffic.
+    std::vector<std::vector<MuxProcess::BatchOp>> per_node(shard.n);
+    std::vector<std::shared_ptr<std::promise<PutResult>>> put_promises;
+    std::vector<std::shared_ptr<std::promise<GetResult>>> get_promises;
+    for (auto& op : window) {
+      if (op.kind == ShardOp::Kind::kCrash) continue;
+      if (op.kind == ShardOp::Kind::kPut) {
+        if (shard.net->crashed(op.node)) {
+          fail(op.put_done, "put: home replica p" + std::to_string(op.node) +
+                                " of shard " + std::to_string(shard.id) +
+                                " has crashed");
+          ++resolved;
+          ++shard.failed_ops;
+          continue;
+        }
+        MuxProcess::BatchOp batch_op;
+        batch_op.slot = op.slot;
+        batch_op.is_write = true;
+        batch_op.value = std::move(op.value);
+        batch_op.write_done = [done = op.put_done](SeqNo version,
+                                                   bool absorbed) {
+          fulfill(done, PutResult{version, absorbed});
+        };
+        put_promises.push_back(std::move(op.put_done));
+        per_node[op.node].push_back(std::move(batch_op));
+      } else {
+        ProcessId reader = op.node;
+        if (reader == kAnyReplica) {
+          // Rotate over live replicas for an even read fan-out.
+          for (std::uint32_t tries = 0; tries < shard.n; ++tries) {
+            reader = shard.next_reader;
+            shard.next_reader = (shard.next_reader + 1) % shard.n;
+            if (!shard.net->crashed(reader)) break;
+          }
+        }
+        if (shard.net->crashed(reader)) {
+          fail(op.get_done, "get: replica p" + std::to_string(reader) +
+                                " of shard " + std::to_string(shard.id) +
+                                " has crashed");
+          ++resolved;
+          ++shard.failed_ops;
+          continue;
+        }
+        MuxProcess::BatchOp batch_op;
+        batch_op.slot = op.slot;
+        batch_op.read_done = [done = op.get_done](const Value& v,
+                                                  SeqNo index) {
+          fulfill(done, GetResult{v, index});
+        };
+        get_promises.push_back(std::move(op.get_done));
+        per_node[reader].push_back(std::move(batch_op));
+      }
+    }
+
+    // Issue every node's batch into one simulation run; chains across
+    // nodes and slots interleave exactly as concurrent clients would. The
+    // completion counter is heap-held: a batch that stalls (liveness lost)
+    // leaves its callbacks parked in the simulator, and they may fire
+    // during a LATER window's run — they must land on their own window's
+    // counter, not on a dead stack slot.
+    auto outstanding_nodes = std::make_shared<std::size_t>(0);
+    std::size_t issued_ops = 0;
+    for (ProcessId pid = 0; pid < shard.n; ++pid) {
+      if (per_node[pid].empty()) continue;
+      ++*outstanding_nodes;
+      issued_ops += per_node[pid].size();
+      auto& mux = shard.net->process_as<MuxProcess>(pid);
+      mux.start_batch(shard.net->context(pid), std::move(per_node[pid]),
+                      shard.coalesce_writes,
+                      [outstanding_nodes] { --*outstanding_nodes; },
+                      &shard.batch);
+    }
+    if (*outstanding_nodes > 0) {
+      const bool ok = shard.net->run_until(
+          [outstanding_nodes] { return *outstanding_nodes == 0; });
+      if (!ok) {
+        // Liveness lost (more than t crashes, or an event-budget blowout):
+        // whatever the protocol could not finish fails over to the client,
+        // and the shard refuses everything from now on (see above).
+        shard.lost_liveness = true;
+        for (const auto& p : put_promises) {
+          fail(p, "put: shard " + std::to_string(shard.id) +
+                      " lost liveness mid-batch");
+        }
+        for (const auto& p : get_promises) {
+          fail(p, "get: shard " + std::to_string(shard.id) +
+                      " lost liveness mid-batch");
+        }
+        shard.failed_ops += issued_ops;  // upper bound; resolved ops ignore it
+      }
+    }
+    resolved += static_cast<std::int64_t>(issued_ops);
+
+    publish_report(shard);
+    shard.ops_resolved(resolved);
+  }
+}
+
+void ShardedKvStore::publish_report(Shard& shard) {
+  const std::scoped_lock lock(shard.report_mu);
+  shard.report.batch = shard.batch;
+  shard.report.net = shard.net->stats();
+  shard.report.virtual_now = shard.net->now();
+  shard.report.failed_ops = shard.failed_ops;
+  shard.report.lost_liveness = shard.lost_liveness;
+}
+
+}  // namespace tbr

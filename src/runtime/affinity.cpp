@@ -1,0 +1,26 @@
+#include "runtime/affinity.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tbr {
+
+bool pin_current_thread(std::uint32_t core) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % cores, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace tbr

@@ -1,0 +1,19 @@
+// CPU affinity for the threaded runtimes.
+//
+// Shard workers and register-process threads are long-lived, CPU-bound
+// loops; pinning each to a fixed core keeps their caches warm and makes
+// multi-shard throughput measurements reproducible (a migrating worker
+// shows up as noise, not as engine behaviour). Pinning is best-effort:
+// platforms without sched_setaffinity simply run unpinned.
+#pragma once
+
+#include <cstdint>
+
+namespace tbr {
+
+/// Pin the calling thread to `core % hardware_concurrency`. Returns true on
+/// success, false when unsupported or refused by the OS — callers treat
+/// pinning as a hint, never a requirement.
+bool pin_current_thread(std::uint32_t core);
+
+}  // namespace tbr

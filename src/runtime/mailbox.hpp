@@ -1,8 +1,13 @@
-// Mailbox: the per-process event queue of the threaded runtime.
+// Mailbox: the per-process event queue of the threaded runtime, and — in its
+// generic MailboxT<T> form — the per-shard operation queue of the sharded
+// KV engine.
 //
-// Exactly one consumer (the process's own thread) pops envelopes; any thread
-// may push. Blocking pop integrates with jthread stop tokens so shutdown
-// never hangs (Core Guidelines CP.42: always wait with a condition).
+// Exactly one consumer (the owning thread) pops; any thread may push.
+// Blocking pop integrates with jthread stop tokens so shutdown never hangs
+// (Core Guidelines CP.42: always wait with a condition). `pop_all` is the
+// batching primitive: it drains everything queued in one swap, which is what
+// makes a natural batching window — the consumer takes whatever accumulated
+// while it was busy with the previous batch.
 #pragma once
 
 #include <condition_variable>
@@ -53,24 +58,71 @@ struct TimerEnvelope {
 using Envelope = std::variant<DeliverEnvelope, WriteEnvelope, ReadEnvelope,
                               CrashEnvelope, TimerEnvelope>;
 
-class Mailbox {
+template <typename T>
+class MailboxT {
  public:
   /// Enqueue; returns false if the box has been closed (shutdown).
-  bool push(Envelope env);
+  bool push(T item) {
+    {
+      const std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
 
-  /// Block until an envelope is available or stop is requested / box closed.
-  std::optional<Envelope> pop(std::stop_token st);
+  /// Block until an item is available or stop is requested / box closed.
+  std::optional<T> pop(std::stop_token st) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, st, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;  // stopped or closed
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Block until at least one item is available, then drain up to
+  /// `max_items` of them in arrival order (0 = everything queued). Returns
+  /// an empty deque when stopped or closed — the consumer's exit signal.
+  std::deque<T> pop_all(std::stop_token st, std::size_t max_items = 0) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, st, [this] { return !queue_.empty() || closed_; });
+    std::deque<T> batch;
+    if (queue_.empty()) return batch;  // stopped or closed
+    if (max_items == 0 || queue_.size() <= max_items) {
+      batch.swap(queue_);
+    } else {
+      for (std::size_t k = 0; k < max_items; ++k) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    return batch;
+  }
 
   /// Wake consumers and reject further pushes.
-  void close();
+  void close() {
+    {
+      const std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
 
-  std::size_t depth() const;
+  std::size_t depth() const {
+    const std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
 
  private:
   mutable std::mutex mu_;
   std::condition_variable_any cv_;
-  std::deque<Envelope> queue_;
+  std::deque<T> queue_;
   bool closed_ = false;
 };
+
+/// The threaded register runtime's mailbox (its historical name).
+using Mailbox = MailboxT<Envelope>;
 
 }  // namespace tbr

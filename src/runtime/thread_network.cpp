@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "runtime/affinity.hpp"
+
 namespace tbr {
 
 using Clock = std::chrono::steady_clock;
@@ -151,12 +153,23 @@ void ThreadNetwork::start() {
   if (started_) return;
   started_ = true;
   threads_.reserve(cfg_.n + 1);
+  const int pin_base = opt_.pin_cpu_base;
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
-    threads_.emplace_back(
-        [host = hosts_[pid].get()](std::stop_token st) { host->run(st); });
+    threads_.emplace_back([host = hosts_[pid].get(), pin_base,
+                           pid](std::stop_token st) {
+      if (pin_base >= 0) {
+        (void)pin_current_thread(static_cast<std::uint32_t>(pin_base) + pid);
+      }
+      host->run(st);
+    });
   }
-  threads_.emplace_back(
-      [this](std::stop_token st) { dispatcher_loop(st); });
+  threads_.emplace_back([this, pin_base](std::stop_token st) {
+    if (pin_base >= 0) {
+      (void)pin_current_thread(static_cast<std::uint32_t>(pin_base) +
+                               cfg_.n);
+    }
+    dispatcher_loop(st);
+  });
 }
 
 void ThreadNetwork::stop() {

@@ -40,6 +40,11 @@ class ThreadNetwork {
     std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
                                                        ProcessId)>
         process_factory;
+
+    /// >= 0: pin process p's thread to core pin_cpu_base + p and the
+    /// dispatcher to pin_cpu_base + n (mod hardware cores; best-effort).
+    /// Keeps per-process cache state warm and throughput runs reproducible.
+    int pin_cpu_base = -1;
   };
 
   explicit ThreadNetwork(Options options);

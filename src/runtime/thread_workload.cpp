@@ -21,6 +21,7 @@ ThreadWorkloadResult run_thread_workload(const ThreadWorkloadOptions& options) {
   net_opt.seed = options.seed;
   net_opt.min_delay_us = options.min_delay_us;
   net_opt.max_delay_us = options.max_delay_us;
+  net_opt.pin_cpu_base = options.pin_threads ? 0 : -1;
   ThreadNetwork net(net_opt);
   net.start();
 

@@ -21,6 +21,8 @@ struct ThreadWorkloadOptions {
   std::uint32_t max_delay_us = 300;
   /// Processes to crash (<= cfg.t, never the writer) partway through.
   std::uint32_t crashes = 0;
+  /// Pin process/dispatcher threads to consecutive cores (best-effort).
+  bool pin_threads = false;
 };
 
 struct ThreadWorkloadResult {

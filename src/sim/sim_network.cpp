@@ -40,9 +40,13 @@ SimNetwork::SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
       rng_(options.seed),
       delay_(options.delay ? std::move(options.delay)
                            : make_constant_delay(1000)),
-      loss_rate_(options.loss_rate) {
+      loss_rate_(options.loss_rate),
+      service_time_(options.service_time),
+      busy_until_(processes_.size(), 0),
+      service_queue_(processes_.size()) {
   TBR_ENSURE(loss_rate_ >= 0.0 && loss_rate_ < 1.0,
              "loss rate must be in [0, 1)");
+  TBR_ENSURE(service_time_ >= 0, "service time cannot be negative");
   TBR_ENSURE(!processes_.empty(), "network needs at least one process");
   for (const auto& p : processes_) {
     TBR_ENSURE(p != nullptr, "null process");
@@ -131,25 +135,70 @@ void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
   // in-flight registry.
   Message copy = msg;
   const auto id = queue_.schedule(deliver_at, [this, from, to, copy]() {
-    // forget_in_flight runs inside step(), which captured the id via the
-    // registry below; see step() for removal.
-    if (crashed_[to]) {
-      stats_.record_drop(copy.type);
-      if (trace_ != nullptr) {
-        trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
-                                  copy.type, copy.debug_index,
-                                  copy.has_value});
-      }
-      return;
-    }
-    if (trace_ != nullptr) {
-      trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
-                                copy.type, copy.debug_index, copy.has_value});
-    }
-    processes_[to]->on_message(*contexts_[to], from, copy);
+    deliver_frame(from, to, copy);
   });
   in_flight_.emplace_back(
       id, InFlight{from, to, msg.type, msg.debug_index, deliver_at});
+}
+
+void SimNetwork::deliver_frame(ProcessId from, ProcessId to,
+                               const Message& msg) {
+  if (crashed_[to]) {
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                msg.type, msg.debug_index, msg.has_value});
+    }
+    return;
+  }
+  if (service_time_ > 0) {
+    if (busy_until_[to] > now_ || !service_queue_[to].empty()) {
+      // Capacity model: the node's CPU is mid-frame. Park in the node's
+      // FIFO; the single drain event pending at busy_until_[to] hands the
+      // queue over one service interval at a time.
+      const bool first = service_queue_[to].empty();
+      service_queue_[to].emplace_back(from, msg);
+      if (first) {
+        queue_.schedule(busy_until_[to],
+                        [this, to]() { drain_service_queue(to); });
+      }
+      return;
+    }
+    busy_until_[to] = now_ + service_time_;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
+                              msg.type, msg.debug_index, msg.has_value});
+  }
+  processes_[to]->on_message(*contexts_[to], from, msg);
+}
+
+void SimNetwork::drain_service_queue(ProcessId to) {
+  if (crashed_[to]) {
+    // The node died with frames waiting for its CPU: they are lost with it.
+    for (const auto& [from, msg] : service_queue_[to]) {
+      stats_.record_drop(msg.type);
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                  msg.type, msg.debug_index, msg.has_value});
+      }
+    }
+    service_queue_[to].clear();
+    return;
+  }
+  if (service_queue_[to].empty()) return;
+  auto [from, msg] = std::move(service_queue_[to].front());
+  service_queue_[to].pop_front();
+  busy_until_[to] = now_ + service_time_;
+  if (!service_queue_[to].empty()) {
+    queue_.schedule(busy_until_[to],
+                    [this, to]() { drain_service_queue(to); });
+  }
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
+                              msg.type, msg.debug_index, msg.has_value});
+  }
+  processes_[to]->on_message(*contexts_[to], from, msg);
 }
 
 void SimNetwork::forget_in_flight(EventQueue::EventId id) {

@@ -7,8 +7,10 @@
 // property tests sweep seeds to explore distinct interleavings.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -34,6 +36,18 @@ class SimNetwork {
     /// the model boundary (experiment D8) — safety survives, liveness does
     /// not. Keep 0 for every in-model experiment.
     double loss_rate = 0.0;
+
+    /// Per-node CPU capacity model: each process handles at most one frame
+    /// per `service_time` ticks; frames arriving at a busy node queue
+    /// behind it (FIFO by arrival). 0 (default) disables the model —
+    /// delivery time is the channel delay alone, as the CAMP model assumes.
+    /// The asynchronous model is preserved (handling is only ever delayed,
+    /// never reordered against causality), so safety results are
+    /// unaffected; what changes is THROUGHPUT, which is the point: capacity
+    /// projections for the sharded engine use this to measure what finite
+    /// per-replica CPU does to an op mix. In-flight introspection does not
+    /// track frames re-queued behind a busy node.
+    Tick service_time = 0;
   };
 
   SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
@@ -120,6 +134,11 @@ class SimNetwork {
   class Context;
 
   void send_from(ProcessId from, ProcessId to, const Message& msg);
+  /// Hand a frame to its destination, or park it in the node's service
+  /// FIFO when the capacity model says its CPU is mid-frame.
+  void deliver_frame(ProcessId from, ProcessId to, const Message& msg);
+  /// Serve the next parked frame at `to` (fires at busy_until_[to]).
+  void drain_service_queue(ProcessId to);
   void step();  // run one event + hook
 
   std::vector<std::unique_ptr<ProcessBase>> processes_;
@@ -134,6 +153,11 @@ class SimNetwork {
   Rng rng_;
   std::unique_ptr<DelayModel> delay_;
   double loss_rate_ = 0.0;
+  Tick service_time_ = 0;
+  std::vector<Tick> busy_until_;  ///< per-node CPU free time (capacity model)
+  /// Frames awaiting a busy node's CPU, FIFO by arrival. Invariant: a
+  /// non-empty queue has exactly one drain event pending at busy_until_.
+  std::vector<std::deque<std::pair<ProcessId, Message>>> service_queue_;
   std::uint64_t frames_lost_ = 0;
   MessageStats stats_;
   Hook post_event_hook_;

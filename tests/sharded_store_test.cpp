@@ -1,0 +1,388 @@
+// Sharded KV engine (src/kvstore): router placement, end-to-end store
+// semantics across shard boundaries, deterministic batching semantics at
+// the MuxProcess level (read coalescing, last-write-wins absorption, chain
+// order), and crash isolation between shards.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kvstore/shard_router.hpp"
+#include "kvstore/sharded_store.hpp"
+
+namespace tbr {
+namespace {
+
+// ---- router ----------------------------------------------------------------
+
+TEST(ShardRouter, PlacementIsStableAndConsistent) {
+  ShardRouter router(4, 16, 3);
+  for (int k = 0; k < 64; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    const auto a = router.place(key);
+    const auto b = router.place(key);
+    EXPECT_EQ(a.shard, b.shard);
+    EXPECT_EQ(a.slot, b.slot);
+    EXPECT_EQ(a.home, b.home);
+    EXPECT_LT(a.shard, 4u);
+    EXPECT_LT(a.slot, 16u);
+    EXPECT_EQ(a.home, a.slot % 3);
+  }
+}
+
+// Regression: raw FNV-1a's high half is nearly constant for short similar
+// keys — before the avalanche finalizer, "key-0".."key-255" left entire
+// shards empty (0 of 256 keys on shard 3 of 4).
+TEST(ShardRouter, ShortSequentialKeysSpreadOverAllShards) {
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    ShardRouter router(shards, 16, 3);
+    std::vector<int> per_shard(shards, 0);
+    for (int k = 0; k < 256; ++k) {
+      per_shard[router.shard_of("key-" + std::to_string(k))] += 1;
+    }
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      // Fair share is 256/shards; require at least a third of it.
+      EXPECT_GE(per_shard[s], static_cast<int>(256 / shards / 3))
+          << "shard " << s << " of " << shards << " starved";
+    }
+  }
+}
+
+// ---- store end-to-end -------------------------------------------------------
+
+ShardedKvStore::Options small_store(std::uint32_t shards = 4,
+                                    std::uint64_t seed = 1) {
+  ShardedKvStore::Options opt;
+  opt.shards = shards;
+  opt.n = 3;
+  opt.t = 1;
+  opt.slots_per_shard = 8;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ShardedKvStore, PutThenGetAtEveryReplica) {
+  ShardedKvStore store(small_store());
+  store.put("alpha", Value::from_string("1"));
+  for (ProcessId pid = 0; pid < store.node_count(); ++pid) {
+    const auto got = store.get("alpha", pid);
+    EXPECT_EQ(got.value.to_string(), "1") << "replica " << pid;
+    EXPECT_EQ(got.version, 1);
+  }
+}
+
+TEST(ShardedKvStore, UnwrittenKeyReturnsInitial) {
+  auto opt = small_store();
+  opt.initial = Value::from_string("<default>");
+  ShardedKvStore store(std::move(opt));
+  const auto got = store.get("never-written");
+  EXPECT_EQ(got.value.to_string(), "<default>");
+  EXPECT_EQ(got.version, 0);
+}
+
+TEST(ShardedKvStore, SequentialOverwritesBumpVersions) {
+  ShardedKvStore store(small_store());
+  for (int k = 1; k <= 10; ++k) {
+    const auto put = store.put("counter", Value::from_int64(k));
+    EXPECT_EQ(put.version, k);
+    EXPECT_FALSE(put.absorbed) << "awaited puts are never absorbed";
+    const auto got = store.get("counter");
+    EXPECT_EQ(got.value.to_int64(), k);
+    EXPECT_EQ(got.version, k);
+  }
+}
+
+TEST(ShardedKvStore, KeysInDifferentShardsAreIndependent) {
+  ShardedKvStore store(small_store());
+  // Find two keys in different shards.
+  std::string a = "a-key", b;
+  for (int k = 0; b.empty() && k < 1000; ++k) {
+    const std::string candidate = "b-key-" + std::to_string(k);
+    if (store.router().shard_of(candidate) != store.router().shard_of(a)) {
+      b = candidate;
+    }
+  }
+  ASSERT_FALSE(b.empty());
+  store.put(a, Value::from_string("va"));
+  store.put(b, Value::from_string("vb"));
+  store.put(a, Value::from_string("va2"));
+  EXPECT_EQ(store.get(a).value.to_string(), "va2");
+  EXPECT_EQ(store.get(a).version, 2);
+  EXPECT_EQ(store.get(b).value.to_string(), "vb");
+  EXPECT_EQ(store.get(b).version, 1) << "b's shard never saw a's writes";
+}
+
+TEST(ShardedKvStore, AsyncBurstResolvesEverythingLastValueWins) {
+  ShardedKvStore store(small_store());
+  std::vector<std::future<ShardedKvStore::PutResult>> puts;
+  for (int k = 1; k <= 32; ++k) {
+    puts.push_back(store.put_async("hot", Value::from_int64(k)));
+  }
+  SeqNo max_version = 0;
+  for (auto& f : puts) {
+    const auto done = f.get();
+    EXPECT_GE(done.version, 1);
+    max_version = std::max(max_version, done.version);
+  }
+  const auto got = store.get("hot");
+  // However the burst landed in windows, the LAST queued value survives
+  // and the final version is the number of protocol writes issued.
+  EXPECT_EQ(got.value.to_int64(), 32);
+  EXPECT_EQ(got.version, max_version);
+  const auto stats = store.batch_stats();
+  EXPECT_EQ(stats.protocol_writes + stats.absorbed_writes, 32u);
+}
+
+TEST(ShardedKvStore, CrashedHomeRefusesPutsKeysStayReadable) {
+  ShardedKvStore store(small_store());
+  store.put("victim", Value::from_string("before"));
+  const auto at = store.router().place("victim");
+  store.crash(at.shard, at.home);
+  store.drain();
+
+  EXPECT_THROW(store.put("victim", Value::from_string("after")),
+               std::runtime_error);
+  // Reads are quorum ops at the surviving replicas.
+  const ProcessId other = (at.home + 1) % store.node_count();
+  EXPECT_EQ(store.get("victim", other).value.to_string(), "before");
+  // Reading AT the corpse is refused.
+  EXPECT_THROW((void)store.get("victim", at.home), std::runtime_error);
+
+  // Every other shard never noticed.
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = "other-" + std::to_string(k);
+    if (store.router().shard_of(key) == at.shard) continue;
+    store.put(key, Value::from_int64(k));
+    EXPECT_EQ(store.get(key).value.to_int64(), k);
+    break;
+  }
+}
+
+// Over-budget crashes (> t in one shard): the stalled batch fails its ops,
+// the shard marks itself dead, and every later op fails fast — the stalled
+// registers' one-op-at-a-time guard must never be re-entered (doing so
+// would throw on the worker thread and abort the process).
+TEST(ShardedKvStore, OverBudgetCrashesFailFastWithoutAborting) {
+  ShardedKvStore store(small_store(/*shards=*/1));
+  store.put("warm", Value::from_int64(1));
+
+  store.crash(0, 1);
+  store.crash(0, 2);  // 2 > t = 1: no quorum left
+  store.drain();
+
+  // A key homed at the surviving replica is accepted into a batch, which
+  // then stalls: the op fails over to the client.
+  std::string stalled_key;
+  for (int k = 0; stalled_key.empty() && k < 1000; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    if (store.router().home_node(key) == 0) stalled_key = key;
+  }
+  ASSERT_FALSE(stalled_key.empty());
+  EXPECT_THROW(store.put(stalled_key, Value::from_int64(2)),
+               std::runtime_error);
+
+  // From now on the shard refuses everything fast — and the process is
+  // still alive to observe it.
+  EXPECT_THROW(store.put(stalled_key, Value::from_int64(3)),
+               std::runtime_error);
+  EXPECT_THROW((void)store.get("warm", 0), std::runtime_error);
+  // A failed promise unblocks the client before the worker publishes its
+  // report; drain() waits for the window to finish accounting.
+  store.drain();
+  EXPECT_TRUE(store.shard_report(0).lost_liveness);
+  EXPECT_GE(store.shard_report(0).failed_ops, 3u);
+}
+
+TEST(ShardedKvStore, ShardReportsAccumulate) {
+  ShardedKvStore store(small_store());
+  for (int k = 0; k < 20; ++k) {
+    store.put("k" + std::to_string(k), Value::from_int64(k));
+  }
+  store.drain();
+  const auto stats = store.batch_stats();
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.client_ops, 20u);
+  EXPECT_GT(store.frames_sent(), 0u);
+  std::uint64_t shard_ops = 0;
+  for (std::uint32_t s = 0; s < store.shard_count(); ++s) {
+    shard_ops += store.shard_report(s).batch.client_ops;
+  }
+  EXPECT_EQ(shard_ops, 20u);
+}
+
+// ---- deterministic batching semantics (direct MuxProcess batches) -----------
+
+struct BatchRig {
+  static constexpr std::uint32_t kN = 3;
+  static constexpr std::uint32_t kSlots = 4;
+  std::unique_ptr<SimNetwork> net;
+  BatchStats stats;
+
+  BatchRig() {
+    auto slot_cfg = [](std::uint32_t slot) {
+      GroupConfig cfg;
+      cfg.n = kN;
+      cfg.t = 1;
+      cfg.writer = slot % kN;
+      cfg.initial = Value::from_string("v0");
+      cfg.validate();
+      return cfg;
+    };
+    std::vector<std::unique_ptr<ProcessBase>> processes;
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      processes.push_back(
+          std::make_unique<MuxProcess>(kSlots, slot_cfg, pid));
+    }
+    net = std::make_unique<SimNetwork>(std::move(processes),
+                                       SimNetwork::Options{});
+  }
+
+  MuxProcess& mux(ProcessId pid) { return net->process_as<MuxProcess>(pid); }
+
+  /// Run one batch at `node` to completion; returns false on stall.
+  bool run(ProcessId node, std::vector<MuxProcess::BatchOp> ops,
+           bool coalesce) {
+    bool done = false;
+    mux(node).start_batch(net->context(node), std::move(ops), coalesce,
+                          [&done] { done = true; }, &stats);
+    return net->run_until([&done] { return done; });
+  }
+};
+
+TEST(MuxBatch, ConsecutiveReadsShareOneProtocolRound) {
+  BatchRig rig;
+  std::vector<MuxProcess::BatchOp> ops;
+  std::vector<std::pair<std::string, SeqNo>> results;
+  for (int k = 0; k < 5; ++k) {
+    MuxProcess::BatchOp op;
+    op.slot = 1;
+    op.read_done = [&results](const Value& v, SeqNo index) {
+      results.emplace_back(v.to_string(), index);
+    };
+    ops.push_back(std::move(op));
+  }
+  ASSERT_TRUE(rig.run(2, std::move(ops), true));
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& [value, index] : results) {
+    EXPECT_EQ(value, "v0");
+    EXPECT_EQ(index, 0);
+  }
+  EXPECT_EQ(rig.stats.protocol_reads, 1u);
+  EXPECT_EQ(rig.stats.coalesced_reads, 4u);
+  // One two-bit read round: 2(n-1) frames, nothing per extra client.
+  EXPECT_EQ(rig.net->stats().total_sent(), 2u * (BatchRig::kN - 1));
+}
+
+TEST(MuxBatch, WriteRunCollapsesLastWriteWins) {
+  BatchRig rig;
+  const std::uint32_t slot = 0;  // homed at p0
+  std::vector<MuxProcess::BatchOp> ops;
+  std::vector<std::pair<SeqNo, bool>> outcomes;
+  for (int k = 1; k <= 3; ++k) {
+    MuxProcess::BatchOp op;
+    op.slot = slot;
+    op.is_write = true;
+    op.value = Value::from_int64(k * 10);
+    op.write_done = [&outcomes](SeqNo version, bool absorbed) {
+      outcomes.emplace_back(version, absorbed);
+    };
+    ops.push_back(std::move(op));
+  }
+  ASSERT_TRUE(rig.run(0, std::move(ops), true));
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0], (std::pair<SeqNo, bool>{1, true}));
+  EXPECT_EQ(outcomes[1], (std::pair<SeqNo, bool>{1, true}));
+  EXPECT_EQ(outcomes[2], (std::pair<SeqNo, bool>{1, false}));
+  EXPECT_EQ(rig.stats.protocol_writes, 1u);
+  EXPECT_EQ(rig.stats.absorbed_writes, 2u);
+
+  // Only the surviving value ever reached the register.
+  Value read_value;
+  SeqNo read_index = -1;
+  std::vector<MuxProcess::BatchOp> reads(1);
+  reads[0].slot = slot;
+  reads[0].read_done = [&](const Value& v, SeqNo index) {
+    read_value = v;
+    read_index = index;
+  };
+  ASSERT_TRUE(rig.run(1, std::move(reads), true));
+  EXPECT_EQ(read_value.to_int64(), 30);
+  EXPECT_EQ(read_index, 1);
+}
+
+TEST(MuxBatch, ReadBetweenWritesSplitsTheRun) {
+  BatchRig rig;
+  const std::uint32_t slot = 0;
+  std::vector<MuxProcess::BatchOp> ops(3);
+  SeqNo mid_read_index = -1;
+  std::int64_t mid_read_value = 0;
+  ops[0].slot = slot;
+  ops[0].is_write = true;
+  ops[0].value = Value::from_int64(1);
+  ops[1].slot = slot;
+  ops[1].read_done = [&](const Value& v, SeqNo index) {
+    mid_read_value = v.to_int64();
+    mid_read_index = index;
+  };
+  ops[2].slot = slot;
+  ops[2].is_write = true;
+  ops[2].value = Value::from_int64(2);
+  ASSERT_TRUE(rig.run(0, std::move(ops), true));
+  // Arrival order is preserved: the read sits between the writes, so the
+  // writes cannot coalesce across it and the read sees exactly write 1.
+  EXPECT_EQ(rig.stats.protocol_writes, 2u);
+  EXPECT_EQ(rig.stats.absorbed_writes, 0u);
+  EXPECT_EQ(mid_read_value, 1);
+  EXPECT_EQ(mid_read_index, 1);
+}
+
+TEST(MuxBatch, CoalesceOffPipelinesEveryWrite) {
+  BatchRig rig;
+  std::vector<MuxProcess::BatchOp> ops;
+  std::vector<SeqNo> versions;
+  for (int k = 1; k <= 4; ++k) {
+    MuxProcess::BatchOp op;
+    op.slot = 0;
+    op.is_write = true;
+    op.value = Value::from_int64(k);
+    op.write_done = [&versions](SeqNo version, bool absorbed) {
+      EXPECT_FALSE(absorbed);
+      versions.push_back(version);
+    };
+    ops.push_back(std::move(op));
+  }
+  ASSERT_TRUE(rig.run(0, std::move(ops), false));
+  EXPECT_EQ(versions, (std::vector<SeqNo>{1, 2, 3, 4}));
+  EXPECT_EQ(rig.stats.protocol_writes, 4u);
+  EXPECT_EQ(rig.stats.absorbed_writes, 0u);
+}
+
+TEST(MuxBatch, ChainsForDistinctSlotsInterleave) {
+  BatchRig rig;
+  // Writes to slot 0 (home p0) and reads of slot 3 (home p0 as 3 % 3)
+  // issued at p0 in one batch: distinct registers, both complete.
+  std::vector<MuxProcess::BatchOp> ops(4);
+  int reads_done = 0;
+  ops[0].slot = 0;
+  ops[0].is_write = true;
+  ops[0].value = Value::from_int64(7);
+  ops[1].slot = 3;
+  ops[1].read_done = [&](const Value&, SeqNo) { ++reads_done; };
+  ops[2].slot = 0;
+  ops[2].is_write = true;
+  ops[2].value = Value::from_int64(8);
+  ops[3].slot = 3;
+  ops[3].read_done = [&](const Value&, SeqNo) { ++reads_done; };
+  ASSERT_TRUE(rig.run(0, std::move(ops), true));
+  EXPECT_EQ(reads_done, 2);
+  // Slot 0's two writes were adjacent in ITS chain (the slot-3 reads live
+  // in a different chain), so they coalesced.
+  EXPECT_EQ(rig.stats.protocol_writes, 1u);
+  EXPECT_EQ(rig.stats.absorbed_writes, 1u);
+  EXPECT_EQ(rig.stats.coalesced_reads, 1u);
+}
+
+}  // namespace
+}  // namespace tbr

@@ -9,14 +9,31 @@
 # which are wrapped in a JSON envelope with run metadata.
 #
 # Usage:
-#   tools/run_benches.sh [output-dir]            (default: repo root)
+#   tools/run_benches.sh [--quick] [output-dir]  (default dir: repo root)
 #   TBR_BENCH_FILTER=msgs tools/run_benches.sh   # only benches matching a regex
+#
+# --quick is the CI smoke mode: drivers that read TBR_BENCH_QUICK shrink
+# their sweeps/repetitions (see bench_common.hpp quick_mode()), and the
+# Google Benchmark harnesses run with minimal time/repetitions. Every
+# BENCH_*.json is still produced — the perf trajectory keeps accumulating,
+# just at smoke resolution.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  quick=1
+  shift
+fi
 out_dir="${1:-${repo_root}}"
 filter="${TBR_BENCH_FILTER:-}"
 build_dir="${repo_root}/build/release"
+
+gbench_args=()
+if [ "${quick}" = "1" ]; then
+  export TBR_BENCH_QUICK=1
+  gbench_args=(--benchmark_min_time=0.05 --benchmark_repetitions=1)
+fi
 
 mkdir -p "${out_dir}"
 
@@ -50,7 +67,7 @@ for bench in "${build_dir}"/bench/bench_*; do
   echo "== ${name} -> ${out}"
   case "${name}" in
     bench_socket_latency|bench_threaded_throughput)
-      if ! "${bench}" --benchmark_format=json > "${out}"; then
+      if ! "${bench}" --benchmark_format=json ${gbench_args[@]+"${gbench_args[@]}"} > "${out}"; then
         echo "!! ${name} failed" >&2
         rm -f "${out}"
         status=1

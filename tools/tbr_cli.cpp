@@ -3,6 +3,8 @@
 // Subcommands:
 //   run        run a closed-loop workload on the simulator and report
 //              traffic, latency and the atomicity verdict
+//   kv         drive the sharded KV engine (read-dominated, zipf-skewed)
+//              and report throughput + batching effectiveness
 //   trace      run a small scripted scenario and print the full protocol
 //              trace
 //   ops        print per-operation cost identities for a given n
@@ -12,6 +14,7 @@
 // Examples:
 //   tbr_cli run --algo=twobit --n=7 --ops=50 --crashes=2 --seed=42
 //   tbr_cli run --algo=abd-bounded --n=5 --delay=flipflop
+//   tbr_cli kv --shards=4 --keys=512 --ops=3000 --read-fraction=0.9
 //   tbr_cli trace --algo=twobit --n=3 --writes=2 --reads=1
 //   tbr_cli ops --n=9
 //   tbr_cli modelcheck --scenario=write-read --n=3
@@ -23,6 +26,7 @@
 #include "common/table.hpp"
 #include "core/twobit_process.hpp"
 #include "modelcheck/explorer.hpp"
+#include "workload/sharded_workload.hpp"
 #include "workload/sim_workload.hpp"
 
 namespace tbr {
@@ -107,6 +111,56 @@ int cmd_run(FlagParser& flags) {
   table.add_row({"atomicity", check.ok ? "OK" : check.error});
   std::cout << table.render();
   return check.ok ? 0 : 1;
+}
+
+int cmd_kv(FlagParser& flags) {
+  ShardedWorkloadOptions opt;
+  opt.shards = static_cast<std::uint32_t>(flags.get_int("shards"));
+  opt.n = static_cast<std::uint32_t>(flags.get_int("n"));
+  opt.t = flags.get_int("t") < 0
+              ? (opt.n - 1) / 2
+              : static_cast<std::uint32_t>(flags.get_int("t"));
+  opt.slots_per_shard = static_cast<std::uint32_t>(flags.get_int("slots"));
+  opt.keys = static_cast<std::uint32_t>(flags.get_int("keys"));
+  opt.zipf_s = flags.get_double("skew");
+  opt.read_fraction = flags.get_double("read-fraction");
+  opt.total_ops = static_cast<std::uint64_t>(flags.get_int("ops"));
+  opt.client_threads = static_cast<std::uint32_t>(flags.get_int("clients"));
+  opt.coalesce_writes = flags.get_bool("coalesce-writes");
+  opt.pin_shard_threads = flags.get_bool("pin");
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  const auto engine = run_sharded_workload(opt);
+  const auto projection = project_sharded_capacity(opt);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"shards x replicas", std::to_string(opt.shards) + " x " +
+                                          std::to_string(opt.n)});
+  table.add_row({"keys / slots per shard",
+                 std::to_string(opt.keys) + " / " +
+                     std::to_string(opt.slots_per_shard)});
+  table.add_row({"op mix", format_double(100.0 * opt.read_fraction, 0) +
+                               "% reads, zipf s=" +
+                               format_double(opt.zipf_s, 2)});
+  table.add_row({"engine ops ok / failed",
+                 format_count(engine.ops_completed) + " / " +
+                     format_count(engine.ops_failed)});
+  table.add_row({"engine wall ops/sec",
+                 format_double(engine.ops_per_sec, 0)});
+  table.add_row({"projected ops/Mtick (capacity model)",
+                 format_double(projection.ops_per_mtick, 0)});
+  table.add_row({"batching windows", format_count(engine.batch.batches)});
+  table.add_row({"largest window (ops)",
+                 format_count(engine.batch.max_batch_ops)});
+  table.add_row({"protocol reads / client reads",
+                 format_count(engine.batch.protocol_reads) + " / " +
+                     format_count(engine.batch.protocol_reads +
+                                  engine.batch.coalesced_reads)});
+  table.add_row({"writes absorbed (last-write-wins)",
+                 format_count(engine.batch.absorbed_writes)});
+  table.add_row({"frames sent (engine)", format_count(engine.frames)});
+  std::cout << table.render();
+  return engine.ops_failed == 0 ? 0 : 1;
 }
 
 int cmd_trace(FlagParser& flags) {
@@ -262,7 +316,7 @@ int real_main(int argc, char** argv) {
                    "twobit | abd-unbounded | abd-bounded | attiya");
   flags.add_int("n", 5, "number of processes");
   flags.add_int("t", -1, "crash budget (-1 = max, (n-1)/2)");
-  flags.add_int("ops", 20, "operations per process (run)");
+  flags.add_int("ops", 20, "operations per process (run) / total (kv)");
   flags.add_int("seed", 1, "random seed");
   flags.add_int("delta", 1000, "base message delay in ticks");
   flags.add_string("delay", "uniform",
@@ -286,6 +340,15 @@ int real_main(int argc, char** argv) {
                 "(modelcheck)");
   flags.add_int("max-nodes", 2'000'000,
                 "exploration budget in replayed prefixes (modelcheck)");
+  flags.add_int("shards", 4, "register groups in the sharded store (kv)");
+  flags.add_int("slots", 16, "register slots per shard (kv)");
+  flags.add_int("keys", 256, "distinct keys in the workload (kv)");
+  flags.add_double("skew", 0.9, "zipf exponent over keys; 0 = uniform (kv)");
+  flags.add_double("read-fraction", 0.9, "fraction of ops that read (kv)");
+  flags.add_int("clients", 4, "client threads driving the engine (kv)");
+  flags.add_bool("coalesce-writes", true,
+                 "collapse queued same-slot writes last-write-wins (kv)");
+  flags.add_bool("pin", false, "pin shard workers to cores (kv)");
 
   if (!flags.parse(argc, argv)) {
     std::cerr << "error: " << flags.error() << "\n\n" << flags.help_text();
@@ -298,11 +361,12 @@ int real_main(int argc, char** argv) {
   const auto& positional = flags.positional();
   const std::string command = positional.empty() ? "run" : positional[0];
   if (command == "run") return cmd_run(flags);
+  if (command == "kv") return cmd_kv(flags);
   if (command == "trace") return cmd_trace(flags);
   if (command == "ops") return cmd_ops(flags);
   if (command == "modelcheck") return cmd_modelcheck(flags);
   std::cerr << "unknown subcommand '" << command
-            << "' (expected: run, trace, ops, modelcheck)\n";
+            << "' (expected: run, kv, trace, ops, modelcheck)\n";
   return 2;
 }
 
