@@ -1,0 +1,40 @@
+// Global counting-allocator harness for the perf gates.
+//
+// Linking `tbr_alloc_hooks` into a binary replaces the global operator
+// new/delete family with malloc-backed versions that bump process-wide
+// atomic counters. Allocation *counts* (not bytes) are the metric: they are
+// deterministic on a fixed workload regardless of CPU count or wall-clock
+// speed, which is what makes "allocations per delivered frame" a gateable
+// criterion on a 1-core CI runner.
+//
+// Only bench_engine_hotpath and alloc_regression_test link the hooks; the
+// library itself never does, so ordinary binaries keep the stock allocator
+// and the sanitizer builds (which interpose their own operator new) are
+// never mixed with ours — the alloc-gated targets are registered for
+// non-sanitized builds only.
+#pragma once
+
+#include <cstdint>
+
+namespace tbr::alloc {
+
+/// Number of successful global operator-new calls since process start.
+std::uint64_t allocations();
+
+/// Number of global operator-delete calls on non-null pointers.
+std::uint64_t deallocations();
+
+/// Allocation delta over a scope:
+///   alloc::Window w;
+///   ... code under measurement ...
+///   auto n = w.allocations();
+class Window {
+ public:
+  Window() : start_(tbr::alloc::allocations()) {}
+  std::uint64_t allocations() const { return alloc::allocations() - start_; }
+
+ private:
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace tbr::alloc

@@ -1,0 +1,246 @@
+// E-HOT: the engine's per-message constant factor.
+//
+// The paper minimizes what a frame carries (2 control bits); this bench
+// tracks what a frame *costs the runtime*: heap allocations per delivered
+// frame and events per second through the simulator's innermost loop, plus
+// the same allocation metric for the threaded runtime.
+//
+// Three measurements:
+//   1. sim steady state  — allocations counted during pure dissemination
+//      windows (settle() after each write: only protocol frames fly, no
+//      client-op machinery). This is the gated criterion: 0 allocs/frame.
+//   2. sim closed loop   — whole-run events/sec and allocs/event for a
+//      closed-loop write/read mix (wall clock: reported, never gated).
+//   3. threaded runtime  — allocations per sent frame across a window of
+//      client operations on real threads (encode/mailbox/dispatch path
+//      plus the per-op future machinery). Gated against a reduction
+//      criterion relative to the recorded pre-optimization baseline.
+//
+// Allocation counts come from the replaced global operator new
+// (bench/alloc_hooks) — deterministic for measurement 1, and stable to
+// within a handful of allocations for measurement 3.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <cstdio>
+
+#include "bench/alloc_hooks.hpp"
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "bench/relay_harness.hpp"
+#include "sim/sim_network.hpp"
+#include "runtime/thread_network.hpp"
+
+namespace tbr::bench {
+namespace {
+
+// Pre-optimization baselines (commit 04722b9, this machine, release build),
+// recorded before the zero-allocation hot-path rework so the JSON trail
+// and the CI criterion both state what the optimization is measured
+// against. The threaded criterion is a >= 90% reduction on allocs/frame.
+constexpr double kPrePrSimRelayAllocsPerFrame = 2.00;
+constexpr double kPrePrThreadedAllocsPerFrame = 0.42;
+constexpr double kThreadedCriterion = kPrePrThreadedAllocsPerFrame * 0.10;
+
+struct SimSteadyResult {
+  std::uint64_t frames = 0;
+  std::uint64_t allocs = 0;
+};
+
+SimSteadyResult measure_sim_relay(std::size_t payload_bytes,
+                                  std::uint64_t laps) {
+  SimNetwork net(make_relays(3, payload_bytes), SimNetwork::Options{});
+
+  // Warm-up lap: sizes the event heap, the frame pool and its slot
+  // capacities. Everything after this is steady state.
+  kick_relay(net, 64);
+  net.run();
+
+  SimSteadyResult out;
+  const auto events_before = net.events_executed();
+  kick_relay(net, static_cast<SeqNo>(laps));
+  const alloc::Window w;
+  net.run();
+  out.allocs = w.allocations();
+  out.frames = net.events_executed() - events_before - 1;  // minus the kick
+  return out;
+}
+
+struct SimLoopResult {
+  std::uint64_t events = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t allocs = 0;
+  double wall_seconds = 0.0;
+};
+
+SimLoopResult measure_sim_loop(std::uint32_t n, std::uint32_t ops) {
+  auto group = make_group(Algorithm::kTwoBit, n);
+  group.write(Value::from_int64(0));
+  group.settle();
+
+  const alloc::Window w;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint32_t k = 0; k < ops; ++k) {
+    group.write(Value::from_int64(k));
+    group.read((k % (n - 1)) + 1);
+  }
+  group.settle();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SimLoopResult out;
+  out.events = group.net().events_executed();
+  out.frames = group.net().stats().total_sent();
+  out.allocs = w.allocations();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+struct ThreadedResult {
+  std::uint64_t frames = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t allocs = 0;
+};
+
+// Reusable one-shot completion latch for the callback client API: the
+// lambda captures one pointer, so the whole op round-trip allocates only
+// what the runtime itself allocates (the quantity under test).
+class OpLatch {
+ public:
+  void signal() {
+    {
+      const std::scoped_lock lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+  }
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    done_ = false;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+// use_futures selects the client API: the future-based wrappers allocate
+// promise/shared-state per op (reported for comparison); the callback fast
+// path is the gated hot path.
+ThreadedResult measure_threaded(std::uint32_t n, std::uint32_t window_ops,
+                                bool use_futures) {
+  ThreadNetwork::Options opt;
+  opt.cfg = make_cfg(n);
+  opt.algo = Algorithm::kTwoBit;
+  opt.seed = 7;
+  opt.min_delay_us = 0;
+  opt.max_delay_us = 0;  // as fast as possible: the hot path itself
+  ThreadNetwork net(opt);
+  net.start();
+
+  OpLatch latch;
+  auto one_op = [&](std::uint32_t k) {
+    const ProcessId reader = (k % (n - 1)) + 1;
+    if (use_futures) {
+      if (k % 2 == 0) {
+        net.write(Value::from_int64(k)).get();
+      } else {
+        (void)net.read(reader).get();
+      }
+      return;
+    }
+    if (k % 2 == 0) {
+      net.write_async(Value::from_int64(k),
+                      [&latch](Tick, const char*) { latch.signal(); });
+    } else {
+      net.read_async(reader, [&latch](const ReadResultT&, const char*) {
+        latch.signal();
+      });
+    }
+    latch.wait();
+  };
+
+  for (std::uint32_t k = 0; k < 64; ++k) one_op(k);  // warm pools/capacities
+
+  const auto before = net.stats_snapshot();
+  const alloc::Window w;
+  for (std::uint32_t k = 0; k < window_ops; ++k) one_op(k);
+  ThreadedResult out;
+  out.allocs = w.allocations();
+  out.ops = window_ops;
+  out.frames = net.stats_snapshot().diff_since(before).total_sent();
+  return out;
+}
+
+double per(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+int run() {
+  const bool quick = quick_mode();
+  print_header("E-HOT: engine hot path (allocs/frame, events/sec)",
+               "runtime overhead per frame ~0 once rounds are minimal");
+
+  const std::uint32_t n = 5;
+  const auto relay_ctl = measure_sim_relay(0, quick ? 2000 : 20000);
+  const auto relay_val = measure_sim_relay(1024, quick ? 2000 : 20000);
+  const auto loop = measure_sim_loop(n, quick ? 200 : 2000);
+  const auto threaded = measure_threaded(n, quick ? 64 : 256, false);
+  const auto thr_futures = measure_threaded(n, quick ? 64 : 256, true);
+
+  TextTable t({"measurement", "frames", "allocs", "allocs/frame",
+               "allocs/event", "events/sec"});
+  t.add_row({"sim relay, control frames (gated)",
+             std::to_string(relay_ctl.frames),
+             std::to_string(relay_ctl.allocs),
+             format_double(per(relay_ctl.allocs, relay_ctl.frames), 3),
+             "-", "-"});
+  t.add_row({"sim relay, 1 KiB payload (gated)",
+             std::to_string(relay_val.frames),
+             std::to_string(relay_val.allocs),
+             format_double(per(relay_val.allocs, relay_val.frames), 3),
+             "-", "-"});
+  t.add_row({"sim closed loop", std::to_string(loop.frames),
+             std::to_string(loop.allocs),
+             format_double(per(loop.allocs, loop.frames), 3),
+             format_double(per(loop.allocs, loop.events), 3),
+             format_double(loop.wall_seconds > 0
+                               ? static_cast<double>(loop.events) /
+                                     loop.wall_seconds
+                               : 0.0,
+                           0)});
+  t.add_row({"threaded window, callbacks (gated)",
+             std::to_string(threaded.frames),
+             std::to_string(threaded.allocs),
+             format_double(per(threaded.allocs, threaded.frames), 3), "-",
+             "-"});
+  t.add_row({"threaded window, futures", std::to_string(thr_futures.frames),
+             std::to_string(thr_futures.allocs),
+             format_double(per(thr_futures.allocs, thr_futures.frames), 3),
+             "-", "-"});
+  std::cout << t.render() << "\n";
+
+  const std::uint64_t relay_allocs = relay_ctl.allocs + relay_val.allocs;
+  const double sim_per_frame =
+      per(relay_allocs, relay_ctl.frames + relay_val.frames);
+  const double thr_per_frame = per(threaded.allocs, threaded.frames);
+  std::printf(
+      "acceptance: sim steady-state allocs/frame = %.3f (criterion: == 0; "
+      "pre-PR baseline %.2f)\n",
+      sim_per_frame, kPrePrSimRelayAllocsPerFrame);
+  std::printf(
+      "acceptance: threaded allocs/frame = %.3f (criterion: <= %.3f, i.e. "
+      ">= 90%% reduction vs pre-PR baseline %.2f)\n",
+      thr_per_frame, kThreadedCriterion, kPrePrThreadedAllocsPerFrame);
+
+  const bool ok = relay_allocs == 0 && thr_per_frame <= kThreadedCriterion;
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tbr::bench
+
+int main() { return tbr::bench::run(); }

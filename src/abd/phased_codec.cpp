@@ -13,9 +13,9 @@ PhasedCodec::PhasedCodec(const PhasedSpec& spec, std::uint32_t n)
           std::min<std::uint64_t>(bits_to_bytes(label_bits_),
                                   kMaxPhysicalLabelBytes)) {}
 
-std::string PhasedCodec::encode(const Message& msg) const {
+void PhasedCodec::encode_into(const Message& msg, std::string& out) const {
   TBR_ENSURE(msg.type <= 3, "unknown phased frame type");
-  std::string out;
+  out.clear();
   out.push_back(static_cast<char>(msg.type));
   wire::put_u64(out, static_cast<std::uint64_t>(msg.aux));
   wire::put_u64(out, static_cast<std::uint64_t>(msg.seq));
@@ -27,8 +27,7 @@ std::string PhasedCodec::encode(const Message& msg) const {
   // The bounded-label blob (zeros: the emulation models its size, not its
   // algebra). Length-prefixed so decode round-trips under the physical cap.
   wire::put_u32(out, static_cast<std::uint32_t>(physical_label_bytes_));
-  out.append(std::string(physical_label_bytes_, '\0'));
-  return out;
+  out.append(physical_label_bytes_, '\0');
 }
 
 Message PhasedCodec::decode(std::string_view bytes) const {
@@ -46,7 +45,7 @@ Message PhasedCodec::decode(std::string_view bytes) const {
     msg.has_value = true;
   }
   const auto label_len = wire::get_u32(bytes, pos);
-  (void)wire::get_blob(bytes, pos, label_len);
+  wire::skip_blob(bytes, pos, label_len);
   TBR_ENSURE(pos == bytes.size(), "trailing bytes in phased frame");
   msg.wire = account(msg);
   return msg;

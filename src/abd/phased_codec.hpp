@@ -25,7 +25,7 @@ class PhasedCodec final : public Codec {
  public:
   PhasedCodec(const PhasedSpec& spec, std::uint32_t n);
 
-  std::string encode(const Message& msg) const override;
+  void encode_into(const Message& msg, std::string& out) const override;
   Message decode(std::string_view bytes) const override;
   WireAccounting account(const Message& msg) const override;
   std::string type_name(std::uint8_t type) const override;

@@ -11,11 +11,11 @@ bool is_write_type(std::uint8_t type) {
 }
 }  // namespace
 
-std::string TwoBitCodec::encode(const Message& msg) const {
+void TwoBitCodec::encode_into(const Message& msg, std::string& out) const {
   TBR_ENSURE(msg.type <= 3, "two-bit codec has exactly four types");
   TBR_ENSURE(msg.seq == 0 && msg.aux == 0,
              "two-bit frames carry no sequence numbers — that is the point");
-  std::string out;
+  out.clear();
   out.push_back(static_cast<char>(msg.type));  // 2 meaningful bits
   if (is_write_type(msg.type)) {
     TBR_ENSURE(msg.has_value, "WRITE frames carry the written value");
@@ -24,7 +24,6 @@ std::string TwoBitCodec::encode(const Message& msg) const {
   } else {
     TBR_ENSURE(!msg.has_value, "READ/PROCEED frames carry no value");
   }
-  return out;
 }
 
 Message TwoBitCodec::decode(std::string_view bytes) const {

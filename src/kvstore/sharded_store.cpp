@@ -262,8 +262,11 @@ std::uint64_t ShardedKvStore::frames_sent() const {
 void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
   if (shard.pin) (void)pin_current_thread(shard.id);
 
+  // One window buffer for the worker's lifetime: pop_all refills it in
+  // place, so steady-state batching never allocates for the window itself.
+  std::vector<ShardOp> window;
   while (true) {
-    std::deque<ShardOp> window = shard.mailbox.pop_all(st, shard.max_batch);
+    shard.mailbox.pop_all(st, window, shard.max_batch);
     if (window.empty()) return;  // closed and drained, or stop requested
 
     // Crash markers apply between batching windows: everything in this

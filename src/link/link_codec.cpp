@@ -4,10 +4,10 @@
 
 namespace tbr {
 
-std::string LinkCodec::encode(const Message& msg) const {
+void LinkCodec::encode_into(const Message& msg, std::string& out) const {
   TBR_ENSURE(msg.type <= 1, "link codec has exactly two types");
   TBR_ENSURE(msg.seq >= 0, "link sequence numbers are non-negative");
-  std::string out;
+  out.clear();
   out.push_back(static_cast<char>(msg.type));  // 1 meaningful bit
   wire::put_u64(out, static_cast<std::uint64_t>(msg.seq));
   if (msg.type == static_cast<std::uint8_t>(LinkType::kData)) {
@@ -17,7 +17,6 @@ std::string LinkCodec::encode(const Message& msg) const {
   } else {
     TBR_ENSURE(!msg.has_value, "ACK frames carry no payload");
   }
-  return out;
 }
 
 Message LinkCodec::decode(std::string_view bytes) const {

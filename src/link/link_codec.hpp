@@ -27,7 +27,7 @@ enum class LinkType : std::uint8_t {
 ///   value = DATA payload bytes (absent on ACK)
 class LinkCodec final : public Codec {
  public:
-  std::string encode(const Message& msg) const override;
+  void encode_into(const Message& msg, std::string& out) const override;
   Message decode(std::string_view bytes) const override;
   WireAccounting account(const Message& msg) const override;
   std::string type_name(std::uint8_t type) const override;

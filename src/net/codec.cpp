@@ -39,4 +39,9 @@ std::string get_blob(std::string_view bytes, std::size_t& pos,
   return out;
 }
 
+void skip_blob(std::string_view bytes, std::size_t& pos, std::size_t len) {
+  TBR_ENSURE(pos + len <= bytes.size(), "truncated frame (blob)");
+  pos += len;
+}
+
 }  // namespace tbr::wire

@@ -20,8 +20,17 @@ class Codec {
   Codec(const Codec&) = delete;
   Codec& operator=(const Codec&) = delete;
 
-  /// Serialize to wire bytes.
-  virtual std::string encode(const Message& msg) const = 0;
+  /// Serialize to wire bytes, appending into `out` after clearing it. The
+  /// buffer-pooled runtimes pass recycled strings whose capacity survives
+  /// across frames, making steady-state encoding allocation-free.
+  virtual void encode_into(const Message& msg, std::string& out) const = 0;
+
+  /// Serialize to a fresh string (convenience over encode_into).
+  std::string encode(const Message& msg) const {
+    std::string out;
+    encode_into(msg, out);
+    return out;
+  }
 
   /// Parse wire bytes; inverse of encode for all fields the codec carries.
   /// Throws ContractViolation on malformed input.
@@ -55,6 +64,10 @@ std::uint64_t get_u64(std::string_view bytes, std::size_t& pos);
 std::uint8_t get_u8(std::string_view bytes, std::size_t& pos);
 std::string get_blob(std::string_view bytes, std::size_t& pos,
                      std::size_t len);
+/// Bounds-check and skip `len` blob bytes without materializing a string
+/// (for fields whose content is modeled but never read, e.g. the phased
+/// codec's bounded-label padding).
+void skip_blob(std::string_view bytes, std::size_t& pos, std::size_t len);
 
 }  // namespace wire
 

@@ -5,19 +5,26 @@
 // Exactly one consumer (the owning thread) pops; any thread may push.
 // Blocking pop integrates with jthread stop tokens so shutdown never hangs
 // (Core Guidelines CP.42: always wait with a condition). `pop_all` is the
-// batching primitive: it drains everything queued in one swap, which is what
-// makes a natural batching window — the consumer takes whatever accumulated
-// while it was busy with the previous batch.
+// batching primitive: it drains everything queued into a caller-owned
+// buffer in one pass, which is what makes a natural batching window — the
+// consumer takes whatever accumulated while it was busy with the previous
+// batch.
+//
+// Storage is a recycled power-of-two ring over a vector, not a deque: a
+// deque crosses (and frees/reallocates) a chunk boundary every ~few dozen
+// envelopes, which on the message hot path is a steady allocation drip.
+// The ring grows to the high-water mark once and then never allocates.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
-#include <deque>
 #include <functional>
-#include <future>
 #include <mutex>
 #include <optional>
 #include <stop_token>
+#include <string>
 #include <variant>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/value.hpp"
@@ -25,26 +32,37 @@
 
 namespace tbr {
 
-/// A message delivery.
+/// A message delivery. `encoded` travels by move from the sender's encode
+/// buffer through the dispatcher into the receiving process, which recycles
+/// it back to the network's buffer pool after decoding.
 struct DeliverEnvelope {
   ProcessId from = kNoProcess;
   std::string encoded;  ///< wire bytes; decoded by the recipient's codec
 };
 
-/// Client request: start a write on this (writer) process.
-struct WriteEnvelope {
-  Value value;
-  std::shared_ptr<std::promise<Tick>> done;  ///< resolves with latency (ns)
-};
-
-/// Client request: start a read on this process.
+/// Completion callbacks for the client fast path. `error` is nullptr on
+/// success, otherwise a static description ("process has crashed", ...).
+/// Callbacks run on the owning process's thread; captures up to two
+/// pointers stay inside std::function's inline storage, so a lean caller
+/// pays no allocation per operation.
 struct ReadResultT {
   Value value;
   SeqNo index = -1;
   Tick latency = 0;
 };
+using WriteCallback = std::function<void(Tick latency_ns, const char* error)>;
+using ReadCallback =
+    std::function<void(const ReadResultT& result, const char* error)>;
+
+/// Client request: start a write on this (writer) process.
+struct WriteEnvelope {
+  Value value;
+  WriteCallback done;
+};
+
+/// Client request: start a read on this process.
 struct ReadEnvelope {
-  std::shared_ptr<std::promise<ReadResultT>> done;
+  ReadCallback done;
 };
 
 /// Crash marker: the process stops handling everything at this point.
@@ -61,12 +79,17 @@ using Envelope = std::variant<DeliverEnvelope, WriteEnvelope, ReadEnvelope,
 template <typename T>
 class MailboxT {
  public:
-  /// Enqueue; returns false if the box has been closed (shutdown).
-  bool push(T item) {
+  /// Enqueue; returns false if the box has been closed (shutdown). Takes an
+  /// rvalue and moves from it only on success, so a rejected item — e.g. an
+  /// envelope carrying a completion callback — is still intact for the
+  /// caller's failure handling.
+  bool push(T&& item) {
     {
       const std::scoped_lock lock(mu_);
       if (closed_) return false;
-      queue_.push_back(std::move(item));
+      if (count_ == ring_.size()) grow();
+      ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(item);
+      ++count_;
     }
     cv_.notify_one();
     return true;
@@ -75,30 +98,25 @@ class MailboxT {
   /// Block until an item is available or stop is requested / box closed.
   std::optional<T> pop(std::stop_token st) {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, st, [this] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;  // stopped or closed
-    T item = std::move(queue_.front());
-    queue_.pop_front();
-    return item;
+    cv_.wait(lock, st, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;  // stopped or closed
+    return take();
   }
 
   /// Block until at least one item is available, then drain up to
-  /// `max_items` of them in arrival order (0 = everything queued). Returns
-  /// an empty deque when stopped or closed — the consumer's exit signal.
-  std::deque<T> pop_all(std::stop_token st, std::size_t max_items = 0) {
+  /// `max_items` of them in arrival order (0 = everything queued) into
+  /// `out`, which is cleared first — reuse one buffer across calls and the
+  /// drain itself never allocates. `out` left empty means stopped or
+  /// closed: the consumer's exit signal.
+  void pop_all(std::stop_token st, std::vector<T>& out,
+               std::size_t max_items = 0) {
+    out.clear();
     std::unique_lock lock(mu_);
-    cv_.wait(lock, st, [this] { return !queue_.empty() || closed_; });
-    std::deque<T> batch;
-    if (queue_.empty()) return batch;  // stopped or closed
-    if (max_items == 0 || queue_.size() <= max_items) {
-      batch.swap(queue_);
-    } else {
-      for (std::size_t k = 0; k < max_items; ++k) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
-    return batch;
+    cv_.wait(lock, st, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return;  // stopped or closed
+    const std::size_t take_n =
+        max_items == 0 ? count_ : std::min(count_, max_items);
+    for (std::size_t k = 0; k < take_n; ++k) out.push_back(take());
   }
 
   /// Wake consumers and reject further pushes.
@@ -112,13 +130,31 @@ class MailboxT {
 
   std::size_t depth() const {
     const std::scoped_lock lock(mu_);
-    return queue_.size();
+    return count_;
   }
 
  private:
+  T take() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+    return item;
+  }
+
+  void grow() {
+    std::vector<T> bigger(ring_.empty() ? 8 : ring_.size() * 2);
+    for (std::size_t k = 0; k < count_; ++k) {
+      bigger[k] = std::move(ring_[(head_ + k) & (ring_.size() - 1)]);
+    }
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable_any cv_;
-  std::deque<T> queue_;
+  std::vector<T> ring_;  // capacity always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

@@ -10,6 +10,11 @@ namespace tbr {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+constexpr const char* kCrashedError = "process has crashed";
+constexpr const char* kShutdownError = "network is shut down";
+}  // namespace
+
 // ---- ProcessHost: one process, its mailbox, its thread ----------------------
 
 class ThreadNetwork::ProcessHost final : public NetworkContext {
@@ -53,38 +58,40 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   }
 
   static void fail_if_request(Envelope& env) {
-    auto reject = [](auto& done) {
-      done->set_exception(std::make_exception_ptr(
-          std::runtime_error("process has crashed")));
-    };
-    if (auto* w = std::get_if<WriteEnvelope>(&env)) reject(w->done);
-    if (auto* r = std::get_if<ReadEnvelope>(&env)) reject(r->done);
+    if (auto* w = std::get_if<WriteEnvelope>(&env)) {
+      w->done(0, kCrashedError);
+    }
+    if (auto* r = std::get_if<ReadEnvelope>(&env)) {
+      r->done(ReadResultT{}, kCrashedError);
+    }
   }
 
   void handle_one(DeliverEnvelope e) {
     const Message msg = proc_->codec().decode(e.encoded);
+    // The wire buffer's job is done; hand its capacity back to the pool
+    // before the handler runs (its sends will want encode buffers).
+    net_.recycle_buffer(std::move(e.encoded));
     proc_->on_message(*this, e.from, msg);
   }
 
   void handle_one(WriteEnvelope e) {
     const Tick start = net_.now();
-    auto done = std::move(e.done);
-    pending_write_ = done;
-    proc_->start_write(*this, std::move(e.value),
-                       [this, done, start]() mutable {
-                         pending_write_.reset();
-                         done->set_value(net_.now() - start);
-                       });
+    pending_write_ = std::move(e.done);
+    // {this, start} fits std::function's inline storage: no allocation.
+    proc_->start_write(*this, std::move(e.value), [this, start] {
+      const WriteCallback done = std::move(pending_write_);
+      pending_write_ = nullptr;
+      if (done) done(net_.now() - start, nullptr);
+    });
   }
 
   void handle_one(ReadEnvelope e) {
     const Tick start = net_.now();
-    auto done = std::move(e.done);
-    pending_read_ = done;
-    proc_->start_read(*this, [this, done, start](const Value& v,
-                                                 SeqNo index) mutable {
-      pending_read_.reset();
-      done->set_value(ReadResultT{v, index, net_.now() - start});
+    pending_read_ = std::move(e.done);
+    proc_->start_read(*this, [this, start](const Value& v, SeqNo index) {
+      const ReadCallback done = std::move(pending_read_);
+      pending_read_ = nullptr;
+      if (done) done(ReadResultT{v, index, net_.now() - start}, nullptr);
     });
   }
 
@@ -93,16 +100,17 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
     proc_->on_crash();
     // The model says a faulty process's last operation may never take
     // effect (§2.2); its *client* still must not wait forever. Fail the
-    // in-flight op's future — the algorithm will never complete it.
-    auto fail = [](auto& pending) {
-      if (pending) {
-        pending->set_exception(std::make_exception_ptr(
-            std::runtime_error("process has crashed")));
-        pending.reset();
-      }
-    };
-    fail(pending_write_);
-    fail(pending_read_);
+    // in-flight op's completion — the algorithm will never complete it.
+    if (pending_write_) {
+      const WriteCallback done = std::move(pending_write_);
+      pending_write_ = nullptr;
+      done(0, kCrashedError);
+    }
+    if (pending_read_) {
+      const ReadCallback done = std::move(pending_read_);
+      pending_read_ = nullptr;
+      done(ReadResultT{}, kCrashedError);
+    }
   }
 
   void handle_one(TimerEnvelope e) {
@@ -114,10 +122,12 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   std::unique_ptr<RegisterProcessBase> proc_;
   Mailbox mailbox_;
   std::atomic<bool> crashed_{false};
-  // In-flight client operation promises (loop thread only): resolved by
+  // In-flight client operation callbacks (loop thread only): invoked by
   // the completion callback or failed by a crash, whichever comes first.
-  std::shared_ptr<std::promise<Tick>> pending_write_;
-  std::shared_ptr<std::promise<ReadResultT>> pending_read_;
+  // Parked in members so the algorithm-facing completion lambdas capture
+  // only {this, start} and stay allocation-free.
+  WriteCallback pending_write_;
+  ReadCallback pending_read_;
 };
 
 // ---- ThreadNetwork -----------------------------------------------------------
@@ -181,6 +191,21 @@ void ThreadNetwork::stop() {
   threads_.clear();  // jthread joins on destruction
 }
 
+std::string ThreadNetwork::take_buffer() {
+  const std::scoped_lock lock(buffer_mu_);
+  if (buffer_pool_.empty()) return std::string();
+  std::string buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buf;
+}
+
+void ThreadNetwork::recycle_buffer(std::string&& buf) {
+  const std::scoped_lock lock(buffer_mu_);
+  if (buffer_pool_.size() < kMaxPooledBuffers) {
+    buffer_pool_.push_back(std::move(buf));
+  }
+}
+
 void ThreadNetwork::dispatch(ProcessId from, ProcessId to,
                              const Message& msg) {
   TBR_ENSURE(to < cfg_.n && to != from, "bad destination");
@@ -192,7 +217,8 @@ void ThreadNetwork::dispatch(ProcessId from, ProcessId to,
       return;
     }
   }
-  std::string encoded = hosts_[from]->process().codec().encode(msg);
+  std::string encoded = take_buffer();
+  hosts_[from]->process().codec().encode_into(msg, encoded);
   {
     const std::scoped_lock lock(dispatch_mu_);
     const Tick jitter_us = opt_.max_delay_us == 0
@@ -270,28 +296,53 @@ void ThreadNetwork::dispatcher_loop(std::stop_token st) {
   }
 }
 
-std::future<Tick> ThreadNetwork::write(Value v) {
+void ThreadNetwork::write_async(Value v, WriteCallback done) {
   TBR_ENSURE(started_, "start() the network first");
+  TBR_ENSURE(done != nullptr, "write_async needs a completion callback");
+  WriteEnvelope env{std::move(v), std::move(done)};
+  if (!hosts_[cfg_.writer]->mailbox().push(std::move(env))) {
+    // push() moves from its argument only on success, so this branch
+    // still owns the callback.
+    env.done(0, kShutdownError);
+  }
+}
+
+void ThreadNetwork::read_async(ProcessId reader, ReadCallback done) {
+  TBR_ENSURE(started_, "start() the network first");
+  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
+  TBR_ENSURE(done != nullptr, "read_async needs a completion callback");
+  ReadEnvelope env{std::move(done)};
+  if (!hosts_[reader]->mailbox().push(std::move(env))) {
+    env.done(ReadResultT{}, kShutdownError);
+  }
+}
+
+std::future<Tick> ThreadNetwork::write(Value v) {
   auto promise = std::make_shared<std::promise<Tick>>();
   auto future = promise->get_future();
-  WriteEnvelope env{std::move(v), promise};
-  if (!hosts_[cfg_.writer]->mailbox().push(std::move(env))) {
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("network is shut down")));
-  }
+  write_async(std::move(v), [promise](Tick latency, const char* error) {
+    if (error == nullptr) {
+      promise->set_value(latency);
+    } else {
+      promise->set_exception(
+          std::make_exception_ptr(std::runtime_error(error)));
+    }
+  });
   return future;
 }
 
 std::future<ThreadNetwork::ReadResult> ThreadNetwork::read(ProcessId reader) {
-  TBR_ENSURE(started_, "start() the network first");
-  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
   auto promise = std::make_shared<std::promise<ReadResult>>();
   auto future = promise->get_future();
-  ReadEnvelope env{promise};
-  if (!hosts_[reader]->mailbox().push(std::move(env))) {
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("network is shut down")));
-  }
+  read_async(reader,
+             [promise](const ReadResultT& result, const char* error) {
+               if (error == nullptr) {
+                 promise->set_value(result);
+               } else {
+                 promise->set_exception(
+                     std::make_exception_ptr(std::runtime_error(error)));
+               }
+             });
   return future;
 }
 

@@ -6,7 +6,17 @@
 // asynchrony and reordering. Frames are round-tripped through the
 // algorithm's codec — what travels between threads is the wire encoding.
 //
-// Client API is future-based; any thread may call write()/read()/crash().
+// Hot-path design: encode buffers come from a recycled pool (take on send,
+// encode_into a warmed string, move the buffer through PendingFrame and
+// DeliverEnvelope to the receiver, recycle after decode), mailboxes are
+// ring-backed, and the callback client API keeps per-operation completion
+// inside std::function's inline storage — so a steady-state operation
+// allocates nothing in the runtime.
+//
+// Client API: write_async/read_async are the allocation-free fast path
+// (callback runs on the owning process's thread; do not block in it). The
+// future-based write()/read() wrappers remain for callers that want to
+// park on a result; any thread may call either, plus crash().
 #pragma once
 
 #include <chrono>
@@ -57,6 +67,16 @@ class ThreadNetwork {
   /// Stop threads and reject further work. Idempotent; called by ~.
   void stop();
 
+  // ---- client fast path (allocation-free completion) -----------------------
+  /// Start a write at the writer process; `done(latency_ns, error)` runs on
+  /// the writer's thread when the operation completes (error != nullptr:
+  /// the writer crashed or the network is shut down).
+  void write_async(Value v, WriteCallback done);
+  /// Start a read at `reader`; `done(result, error)` runs on the reader's
+  /// thread.
+  void read_async(ProcessId reader, ReadCallback done);
+
+  // ---- future-based convenience API ----------------------------------------
   /// Asynchronous write from the writer process; future resolves with the
   /// operation latency (ns) or throws if the writer crashed.
   std::future<Tick> write(Value v);
@@ -93,6 +113,12 @@ class ThreadNetwork {
   void schedule_timer(ProcessId pid, Tick delay, std::function<void()> fn);
   void dispatcher_loop(std::stop_token st);
 
+  /// Encode-buffer pool: warmed strings cycled sender -> dispatcher ->
+  /// receiver -> pool. Bounded so a burst cannot pin memory forever.
+  std::string take_buffer();
+  void recycle_buffer(std::string&& buf);
+  static constexpr std::size_t kMaxPooledBuffers = 256;
+
   GroupConfig cfg_;
   Options opt_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
@@ -103,6 +129,9 @@ class ThreadNetwork {
   std::vector<PendingFrame> frame_heap_;  // min-heap via std::push_heap
   std::uint64_t frame_seq_ = 0;
   Rng delay_rng_;
+
+  std::mutex buffer_mu_;
+  std::vector<std::string> buffer_pool_;
 
   mutable std::mutex stats_mu_;
   MessageStats stats_;

@@ -6,26 +6,47 @@
 
 namespace tbr {
 
-EventQueue::EventId EventQueue::schedule(Tick at, Fn fn) {
-  TBR_ENSURE(fn != nullptr, "cannot schedule a null event");
+EventQueue::EventId EventQueue::push(Tick at, Kind kind, ProcessId from,
+                                     ProcessId to, FrameId frame, Fn fn) {
   TBR_ENSURE(at >= 0, "event time must be non-negative");
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
+  heap_.push(Entry{at, id, kind, from, to, frame, std::move(fn)});
   return id;
+}
+
+EventQueue::EventId EventQueue::schedule(Tick at, Fn fn) {
+  TBR_ENSURE(fn != nullptr, "cannot schedule a null event");
+  return push(at, Kind::kClosure, kNoProcess, kNoProcess, 0, std::move(fn));
+}
+
+EventQueue::EventId EventQueue::schedule_deliver(Tick at, ProcessId from,
+                                                 ProcessId to, FrameId frame) {
+  return push(at, Kind::kDeliver, from, to, frame, nullptr);
+}
+
+EventQueue::EventId EventQueue::schedule_drain(Tick at, ProcessId to) {
+  return push(at, Kind::kDrain, kNoProcess, to, 0, nullptr);
 }
 
 Tick EventQueue::next_time() const {
   return heap_.empty() ? kNever : heap_.top().at;
 }
 
-EventQueue::Fired EventQueue::run_next() {
-  TBR_ENSURE(!heap_.empty(), "run_next on empty queue");
+EventQueue::Fired EventQueue::pop_next() {
+  TBR_ENSURE(!heap_.empty(), "pop_next on empty queue");
   // priority_queue::top is const; move out via const_cast of the handle we
   // are about to pop (safe: pop() destroys the source immediately).
   Entry e = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  e.fn();
-  return Fired{e.at, e.id};
+  return Fired{e.at, e.id, e.kind, e.from, e.to, e.frame, std::move(e.fn)};
+}
+
+EventQueue::Fired EventQueue::run_next() {
+  Fired fired = pop_next();
+  TBR_ENSURE(fired.kind == Kind::kClosure,
+             "run_next popped a typed event; dispatch it via the network");
+  fired.fn();
+  return fired;
 }
 
 }  // namespace tbr

@@ -1,25 +1,50 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue with typed, allocation-free entries.
 //
 // Events fire in (time, insertion-sequence) order, so equal-time events run
 // in the order they were scheduled and a fixed seed yields a fixed run.
+//
+// The hot path of the simulator is "deliver one frame": those events are a
+// tagged struct (from, to, frame-pool slot), not a closure, so scheduling
+// one costs zero heap allocations once the heap's backing vector is warm.
+// Drain events (the capacity model's per-node CPU) are a second tag. The
+// general case — client scripts, crash markers, timer wrappers — remains a
+// callable, stored in an InlineFn whose 48-byte inline buffer covers every
+// closure the engine itself creates.
+//
+// The queue does not know how to execute Deliver/Drain events (that needs
+// the owning network's frame pool); pop_next() hands the typed entry back
+// to the caller for dispatch. run_next() is the closure-only convenience
+// used by direct EventQueue clients (tests).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/inline_fn.hpp"
 
 namespace tbr {
 
 class EventQueue {
  public:
   using EventId = std::uint64_t;
-  using Fn = std::function<void()>;
+  using Fn = InlineFn;
+  /// Index into the owning network's in-flight frame pool.
+  using FrameId = std::uint32_t;
+
+  enum class Kind : std::uint8_t { kClosure, kDeliver, kDrain };
 
   /// Schedule `fn` at absolute time `at`. Returns the event's id.
   EventId schedule(Tick at, Fn fn);
+
+  /// Schedule delivery of pooled frame `frame` from `from` to `to`.
+  /// Allocation-free in steady state: no closure is materialized.
+  EventId schedule_deliver(Tick at, ProcessId from, ProcessId to,
+                           FrameId frame);
+
+  /// Schedule a service-queue drain at node `to` (capacity model).
+  EventId schedule_drain(Tick at, ProcessId to);
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
@@ -27,17 +52,33 @@ class EventQueue {
   /// Time of the earliest pending event; kNever when empty.
   Tick next_time() const;
 
-  /// Pop and run the earliest event. Returns its (time, id).
+  /// A popped event, handed to the caller for dispatch.
   struct Fired {
     Tick at = 0;
     EventId id = 0;
+    Kind kind = Kind::kClosure;
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    FrameId frame = 0;
+    Fn fn;  ///< non-empty iff kind == kClosure
   };
+
+  /// Pop the earliest event WITHOUT running it. The caller dispatches on
+  /// `kind` (the simulator's step() owns the frame pool and contexts).
+  Fired pop_next();
+
+  /// Pop and run the earliest event; it must be a closure. Convenience for
+  /// direct EventQueue users — the network uses pop_next().
   Fired run_next();
 
  private:
   struct Entry {
     Tick at;
     EventId id;
+    Kind kind;
+    ProcessId from;
+    ProcessId to;
+    FrameId frame;
     Fn fn;
   };
   struct Later {
@@ -46,6 +87,9 @@ class EventQueue {
       return a.id > b.id;
     }
   };
+  EventId push(Tick at, Kind kind, ProcessId from, ProcessId to,
+               FrameId frame, Fn fn);
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   EventId next_id_ = 0;
 };

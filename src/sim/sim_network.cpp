@@ -22,6 +22,8 @@ class SimNetwork::Context final : public NetworkContext {
   Tick now() const override { return net_.now(); }
   void schedule(Tick delay, std::function<void()> fn) override {
     TBR_ENSURE(delay > 0, "timer delay must be positive");
+    // {pointer, pid, std::function} fits InlineFn's inline buffer: timer
+    // scheduling allocates only whatever `fn` itself captured.
     net_.schedule_after(delay, [net = &net_, self = self_,
                                 fn = std::move(fn)] {
       if (!net->crashed(self)) fn();
@@ -33,6 +35,32 @@ class SimNetwork::Context final : public NetworkContext {
   ProcessId self_;
 };
 
+// ---- service-queue ring -----------------------------------------------------
+
+void SimNetwork::FrameFifo::push(ParkedFrame f) {
+  if (count_ == ring_.size()) {
+    // Grow to the next power of two, unwrapping into the new layout.
+    std::vector<ParkedFrame> bigger(ring_.empty() ? 8 : ring_.size() * 2);
+    for (std::size_t k = 0; k < count_; ++k) {
+      bigger[k] = ring_[(head_ + k) & (ring_.size() - 1)];
+    }
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) & (ring_.size() - 1)] = f;
+  ++count_;
+}
+
+SimNetwork::ParkedFrame SimNetwork::FrameFifo::pop() {
+  TBR_ENSURE(count_ > 0, "pop from empty service queue");
+  const ParkedFrame f = ring_[head_];
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --count_;
+  return f;
+}
+
+// ---- construction -----------------------------------------------------------
+
 SimNetwork::SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
                        Options options)
     : processes_(std::move(processes)),
@@ -43,7 +71,8 @@ SimNetwork::SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
       loss_rate_(options.loss_rate),
       service_time_(options.service_time),
       busy_until_(processes_.size(), 0),
-      service_queue_(processes_.size()) {
+      service_queue_(processes_.size()),
+      track_in_flight_(options.track_in_flight) {
   TBR_ENSURE(loss_rate_ >= 0.0 && loss_rate_ < 1.0,
              "loss rate must be in [0, 1)");
   TBR_ENSURE(service_time_ >= 0, "service time cannot be negative");
@@ -67,12 +96,12 @@ void SimNetwork::ensure_started() {
   }
 }
 
-void SimNetwork::schedule_at(Tick when, std::function<void()> fn) {
+void SimNetwork::schedule_at(Tick when, EventQueue::Fn fn) {
   TBR_ENSURE(when >= now_, "cannot schedule in the past");
   queue_.schedule(when, std::move(fn));
 }
 
-void SimNetwork::schedule_after(Tick delay, std::function<void()> fn) {
+void SimNetwork::schedule_after(Tick delay, EventQueue::Fn fn) {
   TBR_ENSURE(delay >= 0, "negative delay");
   schedule_at(now_ + delay, std::move(fn));
 }
@@ -99,6 +128,28 @@ bool SimNetwork::crashed(ProcessId pid) const {
   TBR_ENSURE(pid < processes_.size(), "pid out of range");
   return crashed_[pid];
 }
+
+// ---- frame pool --------------------------------------------------------------
+
+EventQueue::FrameId SimNetwork::acquire_frame(const Message& msg) {
+  if (free_frames_.empty()) {
+    frame_pool_.push_back(msg);
+    return static_cast<EventQueue::FrameId>(frame_pool_.size() - 1);
+  }
+  const EventQueue::FrameId frame = free_frames_.back();
+  free_frames_.pop_back();
+  // Copy-assign into the recycled slot: the slot's value-string keeps its
+  // capacity across reuses, so a warmed pool absorbs any payload size the
+  // workload has already seen without allocating.
+  frame_pool_[frame] = msg;
+  return frame;
+}
+
+void SimNetwork::release_frame(EventQueue::FrameId frame) {
+  free_frames_.push_back(frame);
+}
+
+// ---- send / deliver ----------------------------------------------------------
 
 void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
   TBR_ENSURE(to < processes_.size(), "destination out of range");
@@ -131,38 +182,36 @@ void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
   const Tick dt = delay_->delay(rng_, from, to, msg);
   TBR_ENSURE(dt > 0, "delay model produced a non-positive delay");
   const Tick deliver_at = now_ + dt;
-  // Two-phase scheduling so the closure can know its own event id for the
-  // in-flight registry.
-  Message copy = msg;
-  const auto id = queue_.schedule(deliver_at, [this, from, to, copy]() {
-    deliver_frame(from, to, copy);
-  });
-  in_flight_.emplace_back(
-      id, InFlight{from, to, msg.type, msg.debug_index, deliver_at});
+  const auto frame = acquire_frame(msg);
+  const auto id = queue_.schedule_deliver(deliver_at, from, to, frame);
+  if (track_in_flight_) {
+    in_flight_.emplace_back(
+        id, InFlight{from, to, msg.type, msg.debug_index, deliver_at});
+  }
 }
 
 void SimNetwork::deliver_frame(ProcessId from, ProcessId to,
-                               const Message& msg) {
+                               EventQueue::FrameId frame) {
+  const Message& msg = frame_pool_[frame];
   if (crashed_[to]) {
     stats_.record_drop(msg.type);
     if (trace_ != nullptr) {
       trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
                                 msg.type, msg.debug_index, msg.has_value});
     }
+    release_frame(frame);
     return;
   }
   if (service_time_ > 0) {
     if (busy_until_[to] > now_ || !service_queue_[to].empty()) {
-      // Capacity model: the node's CPU is mid-frame. Park in the node's
-      // FIFO; the single drain event pending at busy_until_[to] hands the
-      // queue over one service interval at a time.
+      // Capacity model: the node's CPU is mid-frame. Park the pooled frame
+      // in the node's FIFO; the single drain event pending at
+      // busy_until_[to] hands the queue over one service interval at a
+      // time.
       const bool first = service_queue_[to].empty();
-      service_queue_[to].emplace_back(from, msg);
-      if (first) {
-        queue_.schedule(busy_until_[to],
-                        [this, to]() { drain_service_queue(to); });
-      }
-      return;
+      service_queue_[to].push(ParkedFrame{from, frame});
+      if (first) queue_.schedule_drain(busy_until_[to], to);
+      return;  // slot stays acquired until the drain serves it
     }
     busy_until_[to] = now_ + service_time_;
   }
@@ -170,35 +219,42 @@ void SimNetwork::deliver_frame(ProcessId from, ProcessId to,
     trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
                               msg.type, msg.debug_index, msg.has_value});
   }
+  // The slot is released only after the handler returns: handlers hold a
+  // reference to the pooled message while their sends recycle OTHER slots
+  // (deque-backed pool keeps this one's address stable).
   processes_[to]->on_message(*contexts_[to], from, msg);
+  release_frame(frame);
 }
 
 void SimNetwork::drain_service_queue(ProcessId to) {
   if (crashed_[to]) {
     // The node died with frames waiting for its CPU: they are lost with it.
-    for (const auto& [from, msg] : service_queue_[to]) {
+    while (!service_queue_[to].empty()) {
+      const ParkedFrame parked = service_queue_[to].pop();
+      const Message& msg = frame_pool_[parked.frame];
       stats_.record_drop(msg.type);
       if (trace_ != nullptr) {
-        trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
-                                  msg.type, msg.debug_index, msg.has_value});
+        trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, parked.from,
+                                  to, msg.type, msg.debug_index,
+                                  msg.has_value});
       }
+      release_frame(parked.frame);
     }
-    service_queue_[to].clear();
     return;
   }
   if (service_queue_[to].empty()) return;
-  auto [from, msg] = std::move(service_queue_[to].front());
-  service_queue_[to].pop_front();
+  const ParkedFrame parked = service_queue_[to].pop();
   busy_until_[to] = now_ + service_time_;
   if (!service_queue_[to].empty()) {
-    queue_.schedule(busy_until_[to],
-                    [this, to]() { drain_service_queue(to); });
+    queue_.schedule_drain(busy_until_[to], to);
   }
+  const Message& msg = frame_pool_[parked.frame];
   if (trace_ != nullptr) {
-    trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, from, to,
-                              msg.type, msg.debug_index, msg.has_value});
+    trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, parked.from,
+                              to, msg.type, msg.debug_index, msg.has_value});
   }
-  processes_[to]->on_message(*contexts_[to], from, msg);
+  processes_[to]->on_message(*contexts_[to], parked.from, msg);
+  release_frame(parked.frame);
 }
 
 void SimNetwork::forget_in_flight(EventQueue::EventId id) {
@@ -213,8 +269,19 @@ void SimNetwork::step() {
   TBR_ENSURE(at != kNever, "step on empty queue");
   TBR_ENSURE(at >= now_, "time went backwards");
   now_ = at;
-  const auto fired = queue_.run_next();
-  forget_in_flight(fired.id);
+  auto fired = queue_.pop_next();
+  switch (fired.kind) {
+    case EventQueue::Kind::kClosure:
+      fired.fn();
+      break;
+    case EventQueue::Kind::kDeliver:
+      deliver_frame(fired.from, fired.to, fired.frame);
+      break;
+    case EventQueue::Kind::kDrain:
+      drain_service_queue(fired.to);
+      break;
+  }
+  if (track_in_flight_) forget_in_flight(fired.id);
   ++events_executed_;
   if (post_event_hook_) post_event_hook_(*this);
 }
@@ -258,6 +325,8 @@ NetworkContext& SimNetwork::context(ProcessId pid) {
 }
 
 std::vector<SimNetwork::InFlight> SimNetwork::in_flight() const {
+  TBR_ENSURE(track_in_flight_,
+             "in_flight() needs Options::track_in_flight = true");
   std::vector<InFlight> out;
   out.reserve(in_flight_.size());
   for (const auto& [id, info] : in_flight_) out.push_back(info);
@@ -266,6 +335,8 @@ std::vector<SimNetwork::InFlight> SimNetwork::in_flight() const {
 
 std::vector<SimNetwork::InFlight> SimNetwork::in_flight_between(
     ProcessId from, ProcessId to) const {
+  TBR_ENSURE(track_in_flight_,
+             "in_flight_between() needs Options::track_in_flight = true");
   std::vector<InFlight> out;
   for (const auto& [id, info] : in_flight_) {
     if (info.from == from && info.to == to) out.push_back(info);

@@ -5,6 +5,14 @@
 // Virtual time advances only when events fire, so a (processes, delay model,
 // seed) triple fully determines the execution — the adversarial-schedule
 // property tests sweep seeds to explore distinct interleavings.
+//
+// Hot-path design (zero allocations per delivered frame in steady state):
+// a send copy-assigns the message into a slot of a recycled frame pool
+// (std::deque: slot references stay valid while handlers send) and
+// schedules a typed Deliver event carrying the slot index — no closure, no
+// per-frame Message copy beyond the one the reliable channel semantically
+// requires. Slots return to a freelist after delivery, so their string
+// capacities are reused and steady-state traffic never touches the heap.
 #pragma once
 
 #include <deque>
@@ -48,6 +56,12 @@ class SimNetwork {
     /// per-replica CPU does to an op mix. In-flight introspection does not
     /// track frames re-queued behind a busy node.
     Tick service_time = 0;
+
+    /// Maintain the per-frame in-flight registry read by in_flight() /
+    /// in_flight_between() (P1-style channel invariant observers). Off by
+    /// default: the registry costs an insert + linear-scan erase per frame,
+    /// which is pure overhead for every run that never introspects it.
+    bool track_in_flight = false;
   };
 
   SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
@@ -60,9 +74,10 @@ class SimNetwork {
   Tick now() const noexcept { return now_; }
 
   /// Schedule a client-side event (e.g. "process 2 starts a read") at an
-  /// absolute virtual time >= now.
-  void schedule_at(Tick when, std::function<void()> fn);
-  void schedule_after(Tick delay, std::function<void()> fn);
+  /// absolute virtual time >= now. Captures up to InlineFn::kInlineBytes
+  /// are stored inline (no allocation).
+  void schedule_at(Tick when, EventQueue::Fn fn);
+  void schedule_after(Tick delay, EventQueue::Fn fn);
 
   // ---- faults -------------------------------------------------------------
   /// Crash `pid` at time `when`: it processes no event at or after `when`;
@@ -105,6 +120,8 @@ class SimNetwork {
   Rng& rng() noexcept { return rng_; }
 
   // ---- introspection (invariant observers, P1-style channel checks) -------
+  // Requires Options::track_in_flight; reading an untracked registry is a
+  // contract error (it would silently return "no frames in flight").
   struct InFlight {
     ProcessId from = kNoProcess;
     ProcessId to = kNoProcess;
@@ -134,12 +151,19 @@ class SimNetwork {
   class Context;
 
   void send_from(ProcessId from, ProcessId to, const Message& msg);
-  /// Hand a frame to its destination, or park it in the node's service
-  /// FIFO when the capacity model says its CPU is mid-frame.
-  void deliver_frame(ProcessId from, ProcessId to, const Message& msg);
+  /// Execute a Deliver event for pooled frame `frame`: hand it to its
+  /// destination, or park it in the node's service FIFO when the capacity
+  /// model says its CPU is mid-frame.
+  void deliver_frame(ProcessId from, ProcessId to, EventQueue::FrameId frame);
   /// Serve the next parked frame at `to` (fires at busy_until_[to]).
   void drain_service_queue(ProcessId to);
   void step();  // run one event + hook
+
+  // ---- frame pool ---------------------------------------------------------
+  /// Copy `msg` into a recycled pool slot (the slot's string capacity is
+  /// reused, so steady-state sends never allocate) and return its index.
+  EventQueue::FrameId acquire_frame(const Message& msg);
+  void release_frame(EventQueue::FrameId frame);
 
   std::vector<std::unique_ptr<ProcessBase>> processes_;
   std::vector<std::unique_ptr<Context>> contexts_;
@@ -154,16 +178,44 @@ class SimNetwork {
   std::unique_ptr<DelayModel> delay_;
   double loss_rate_ = 0.0;
   Tick service_time_ = 0;
+
+  /// In-flight frames live here, indexed by EventQueue::FrameId. A deque so
+  /// slot references stay valid while a handler's sends grow the pool.
+  std::deque<Message> frame_pool_;
+  std::vector<EventQueue::FrameId> free_frames_;
+
   std::vector<Tick> busy_until_;  ///< per-node CPU free time (capacity model)
-  /// Frames awaiting a busy node's CPU, FIFO by arrival. Invariant: a
-  /// non-empty queue has exactly one drain event pending at busy_until_.
-  std::vector<std::deque<std::pair<ProcessId, Message>>> service_queue_;
+
+  /// Frames awaiting a busy node's CPU, FIFO by arrival, as a recycled
+  /// vector ring (a deque would churn chunk allocations at every boundary).
+  /// Invariant: a non-empty queue has exactly one drain event pending at
+  /// busy_until_.
+  struct ParkedFrame {
+    ProcessId from = kNoProcess;
+    EventQueue::FrameId frame = 0;
+  };
+  class FrameFifo {
+   public:
+    bool empty() const noexcept { return count_ == 0; }
+    std::size_t size() const noexcept { return count_; }
+    void push(ParkedFrame f);
+    ParkedFrame pop();
+
+   private:
+    std::vector<ParkedFrame> ring_;  // capacity always a power of two
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+  std::vector<FrameFifo> service_queue_;
+
   std::uint64_t frames_lost_ = 0;
   MessageStats stats_;
   Hook post_event_hook_;
   TraceLog* trace_ = nullptr;
 
-  // In-flight registry keyed by event id (erased on delivery/drop).
+  // In-flight registry keyed by event id (erased on delivery/drop); only
+  // maintained when Options::track_in_flight is set.
+  bool track_in_flight_ = false;
   std::vector<std::pair<EventQueue::EventId, InFlight>> in_flight_;
   void forget_in_flight(EventQueue::EventId id);
   bool started_ = false;

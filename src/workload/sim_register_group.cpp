@@ -12,6 +12,7 @@ SimRegisterGroup::SimRegisterGroup(Options options)
   net_opt.delay = options.delay ? std::move(options.delay)
                                 : make_constant_delay(kDefaultDelta);
   net_opt.loss_rate = options.loss_rate;
+  net_opt.track_in_flight = options.track_in_flight;
   std::vector<std::unique_ptr<ProcessBase>> group;
   if (options.process_factory) {
     group.reserve(cfg_.n);

@@ -32,6 +32,10 @@ class SimRegisterGroup {
     /// OUT-OF-MODEL loss injection (see SimNetwork::Options::loss_rate);
     /// keep 0 except for the D8 model-boundary experiment.
     double loss_rate = 0.0;
+
+    /// Maintain the in-flight frame registry (SimNetwork::Options::
+    /// track_in_flight); required by the P1 channel-invariant observer.
+    bool track_in_flight = false;
   };
   static constexpr Tick kDefaultDelta = 1000;
 

@@ -218,6 +218,7 @@ TEST(SimNetworkTest, CrashedSendersPacketsStillFly) {
 TEST(SimNetworkTest, InFlightIntrospection) {
   SimNetwork::Options opt;
   opt.delay = make_constant_delay(100);
+  opt.track_in_flight = true;
   SimNetwork net(make_pings(3), std::move(opt));
   net.schedule_at(0, [&] {
     net.context(0).send(1, mk(0));
