@@ -10,7 +10,6 @@
 //
 //   build/examples/kv_shard_store
 #include <algorithm>
-#include <future>
 #include <iostream>
 #include <vector>
 
@@ -50,28 +49,33 @@ int main() {
   std::cout << "user:3/name: " << store.get("user:3/name").value.to_string()
             << " (never written)\n";
 
-  // The batching window: async puts/gets issued together land in one
-  // window per shard; reads issued at the same replica share a protocol
-  // round and queued same-slot writes collapse last-write-wins.
-  std::cout << "\n-- a burst of async traffic --\n";
-  std::vector<std::future<ShardedKvStore::PutResult>> puts;
-  std::vector<std::future<ShardedKvStore::GetResult>> gets;
+  // The batching window, via the unified client API: pooled ops issued
+  // together land in one window per shard; reads issued at the same
+  // replica share a protocol round and queued same-slot writes collapse
+  // last-write-wins. Each submission returns a Ticket; wait() returns a
+  // uniform OpResult with a Status — no futures, no exceptions, no
+  // per-op promise allocation.
+  std::cout << "\n-- a burst of pipelined traffic (tickets) --\n";
+  KvClient& client = store.client();
+  std::vector<Ticket> put_tickets;
+  std::vector<Ticket> get_tickets;
   for (int k = 0; k < 3; ++k) {
-    puts.push_back(
-        store.put_async("user:1/role", Value::from_string("rank-" +
-                                                          std::to_string(k))));
+    put_tickets.push_back(client.put(
+        "user:1/role", Value::from_string("rank-" + std::to_string(k))));
   }
-  for (int k = 0; k < 8; ++k) gets.push_back(store.get_async("user:2/name"));
-  for (auto& f : puts) {
-    const auto done = f.get();
+  for (int k = 0; k < 8; ++k) get_tickets.push_back(client.get("user:2/name"));
+  for (const Ticket& t : put_tickets) {
+    const OpResult done = client.wait(t);
     std::cout << "put user:1/role -> version " << done.version
               << (done.absorbed ? " (absorbed: a newer queued value won)"
                                 : " (reached the register)")
               << "\n";
   }
   std::size_t got = 0;
-  for (auto& f : gets) got += f.get().value.to_string() == "grace" ? 1 : 0;
-  std::cout << got << "/8 async reads of user:2/name returned 'grace'\n";
+  for (const Ticket& t : get_tickets) {
+    got += client.wait(t).value.to_string() == "grace" ? 1 : 0;
+  }
+  std::cout << got << "/8 pipelined reads of user:2/name returned 'grace'\n";
   std::cout << "user:1/role now: "
             << store.get("user:1/role").value.to_string() << "\n";
 
@@ -84,12 +88,13 @@ int main() {
   std::cout << "\n-- after crashing shard " << at.shard << "'s replica p"
             << at.home << " --\n";
   std::cout << "user:1/role readable: "
-            << store.get("user:1/role").value.to_string() << "\n";
-  try {
-    store.put("user:1/role", Value::from_string("captain"));
+            << client.get_sync("user:1/role").value.to_string() << "\n";
+  const OpResult refused =
+      client.put_sync("user:1/role", Value::from_string("captain"));
+  if (refused.status.ok()) {
     std::cout << "put user:1/role accepted (home replica alive)\n";
-  } catch (const std::runtime_error& e) {
-    std::cout << "put refused: " << e.what() << "\n";
+  } else {
+    std::cout << "put refused: " << refused.status.message() << "\n";
   }
 
   const auto batch = store.batch_stats();

@@ -19,18 +19,24 @@ int main() {
   options.algo = Algorithm::kTwoBit;  // the paper's algorithm
   SimRegisterGroup reg(std::move(options));
 
-  // Write, then read from another process.
-  reg.write(Value::from_string("hello, registers"));
-  auto out = reg.read(/*reader=*/3);
+  // Write, then read from another process — via the unified client API:
+  // every operation returns an OpResult carrying a Status (no exceptions).
+  RegisterClient& client = reg.client();
+  client.write_sync(Value::from_string("hello, registers"));
+  OpResult out = client.read_sync(/*reader=*/3);
   std::cout << "process 3 read: \"" << out.value.to_string() << "\" (value #"
-            << out.index << ", " << out.latency << " ticks)\n";
+            << out.version << ", " << out.latency << " ticks)\n";
 
   // Crash a minority; the register keeps working.
   reg.crash(4);
   reg.crash(2);
-  reg.write(Value::from_string("still here after 2 crashes"));
-  out = reg.read(1);
+  client.write_sync(Value::from_string("still here after 2 crashes"));
+  out = client.read_sync(1);
   std::cout << "process 1 read: \"" << out.value.to_string() << "\"\n";
+
+  // Reading at a crashed process is an outcome, not a crash of YOUR code.
+  const OpResult dead = client.read_sync(4);
+  std::cout << "reading at crashed p4: " << dead.status.message() << "\n";
 
   // Every message the protocol sent carried exactly 2 control bits.
   std::cout << "messages sent: " << reg.net().stats().total_sent()

@@ -30,9 +30,9 @@ void PhasedCodec::encode_into(const Message& msg, std::string& out) const {
   out.append(physical_label_bytes_, '\0');
 }
 
-Message PhasedCodec::decode(std::string_view bytes) const {
+void PhasedCodec::decode_into(std::string_view bytes, Message& msg) const {
+  wire::reset_for_decode(msg);
   std::size_t pos = 0;
-  Message msg;
   msg.type = wire::get_u8(bytes, pos);
   TBR_ENSURE(msg.type <= 3, "unknown phased frame type");
   msg.aux = static_cast<SeqNo>(wire::get_u64(bytes, pos));
@@ -41,14 +41,13 @@ Message PhasedCodec::decode(std::string_view bytes) const {
   TBR_ENSURE(has_value <= 1, "bad value flag");
   if (has_value == 1) {
     const auto len = wire::get_u32(bytes, pos);
-    msg.value = Value::from_bytes(wire::get_blob(bytes, pos, len));
+    wire::get_blob_into(bytes, pos, len, msg.value.mutable_bytes());
     msg.has_value = true;
   }
   const auto label_len = wire::get_u32(bytes, pos);
   wire::skip_blob(bytes, pos, label_len);
   TBR_ENSURE(pos == bytes.size(), "trailing bytes in phased frame");
   msg.wire = account(msg);
-  return msg;
 }
 
 WireAccounting PhasedCodec::account(const Message& msg) const {

@@ -26,7 +26,7 @@ class PhasedCodec final : public Codec {
   PhasedCodec(const PhasedSpec& spec, std::uint32_t n);
 
   void encode_into(const Message& msg, std::string& out) const override;
-  Message decode(std::string_view bytes) const override;
+  void decode_into(std::string_view bytes, Message& out) const override;
   WireAccounting account(const Message& msg) const override;
   std::string type_name(std::uint8_t type) const override;
 

@@ -26,6 +26,11 @@ class Value {
 
   /// Raw bytes.
   const std::string& bytes() const noexcept { return bytes_; }
+  /// Mutable access to the backing buffer, for pooled hot paths that
+  /// encode straight into a recycled Value or assign without reallocating
+  /// (Codec::decode_into, the mux slot wrapper). The bytes ARE the value:
+  /// whatever the caller leaves here is what the Value holds.
+  std::string& mutable_bytes() noexcept { return bytes_; }
   /// Payload size in bytes.
   std::size_t size() const noexcept { return bytes_.size(); }
   /// Payload size in bits (what the data-plane accounting uses).

@@ -26,19 +26,18 @@ void TwoBitCodec::encode_into(const Message& msg, std::string& out) const {
   }
 }
 
-Message TwoBitCodec::decode(std::string_view bytes) const {
+void TwoBitCodec::decode_into(std::string_view bytes, Message& msg) const {
+  wire::reset_for_decode(msg);
   std::size_t pos = 0;
-  Message msg;
   msg.type = wire::get_u8(bytes, pos);
   TBR_ENSURE(msg.type <= 3, "bad two-bit frame type");
   if (is_write_type(msg.type)) {
     const auto len = wire::get_u32(bytes, pos);
-    msg.value = Value::from_bytes(wire::get_blob(bytes, pos, len));
+    wire::get_blob_into(bytes, pos, len, msg.value.mutable_bytes());
     msg.has_value = true;
   }
   TBR_ENSURE(pos == bytes.size(), "trailing bytes in two-bit frame");
   msg.wire = account(msg);
-  return msg;
 }
 
 WireAccounting TwoBitCodec::account(const Message& msg) const {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string_view>
 
+#include "client/client.hpp"
 #include "kvstore/mux_process.hpp"
 #include "sim/sim_network.hpp"
 
@@ -34,6 +35,11 @@ class KvStore {
     /// returns, with version 0).
     Value initial;
 
+    /// client() batch windows: collapse runs of queued writes to one slot
+    /// into a single protocol write (last value wins; absorbed puts
+    /// complete with `absorbed = true`). Reads always share rounds.
+    bool coalesce_writes = true;
+
     /// OUT-OF-MODEL loss injection (see SimNetwork::Options::loss_rate).
     /// Keep 0 unless the per-slot registers ride a retransmitting link
     /// (`register_factory` wrapping in ReliableLinkProcess) — bare
@@ -42,8 +48,20 @@ class KvStore {
   };
 
   explicit KvStore(Options options);
+  KvStore(KvStore&&) noexcept;
+  KvStore& operator=(KvStore&&) noexcept;
+  ~KvStore();
 
-  // ---- key API (blocking; drives the simulation) -----------------------------
+  // ---- the unified client API ------------------------------------------------
+  /// Pooled Ticket/callback completions with uniform Status outcomes
+  /// (src/client/client.hpp). Ops submitted between waits form one
+  /// batching window, handed to MuxProcess::start_batch per replica —
+  /// reads issued at one replica share a protocol round, queued writes to
+  /// one slot coalesce last-write-wins (Options::coalesce_writes). wait()
+  /// drives the simulation. Lazily built; stable across store moves.
+  KvClient& client();
+
+  // ---- key API (blocking; DEPRECATED: use client()) --------------------------
   /// Store `value` under `key`. Executed at the key's home node (the
   /// writer of its slot); throws std::runtime_error if that node crashed.
   void put(std::string_view key, Value value);
@@ -73,11 +91,15 @@ class KvStore {
   std::uint64_t total_memory_bytes();
 
  private:
+  class ClientImpl;
+
   MuxProcess& mux_at(ProcessId node);
 
   std::uint32_t n_ = 0;
   std::uint32_t slots_ = 0;
+  bool coalesce_writes_ = true;
   std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<ClientImpl> client_impl_;  // engine + KvClient
 };
 
 }  // namespace tbr

@@ -7,8 +7,16 @@
 
 namespace tbr {
 
+namespace {
+/// slot_chain_ sentinel: no live chain for this slot in the current plan.
+constexpr std::uint32_t kNoChain = 0xFFFFFFFFu;
+}  // namespace
+
 // Per-slot view of the network: wraps the inner register's frames in a
-// slot-tagged envelope before they reach the real transport.
+// slot-tagged envelope before they reach the real transport. The envelope
+// is a reused scratch Message — the inner frame encodes straight into its
+// recycled Value buffer, so a steady-state wrapped send allocates nothing
+// (ROADMAP's "mux slot-frame wrapping" item).
 class MuxProcess::SlotContext final : public NetworkContext {
  public:
   SlotContext(MuxProcess& mux, std::uint32_t slot)
@@ -16,16 +24,16 @@ class MuxProcess::SlotContext final : public NetworkContext {
 
   void send(ProcessId to, const Message& inner) override {
     TBR_ENSURE(mux_.net_ != nullptr, "slot context used before start");
-    Message outer;
-    outer.type = inner.type;  // per-type stats still reflect the protocol
-    outer.seq = slot_;        // routing tag (addressing, not control)
-    outer.value =
-        Value::from_bytes(mux_.slots_[slot_]->codec().encode(inner));
-    outer.has_value = true;
-    outer.debug_index = inner.debug_index;
-    outer.wire.control_bits = inner.wire.control_bits;
-    outer.wire.data_bits = inner.wire.data_bits + 32;  // the slot tag
-    mux_.net_->send(to, outer);
+    outer_.type = inner.type;  // per-type stats still reflect the protocol
+    outer_.seq = slot_;        // routing tag (addressing, not control)
+    mux_.slots_[slot_]->codec().encode_into(inner,
+                                            outer_.value.mutable_bytes());
+    outer_.has_value = true;
+    outer_.aux = 0;
+    outer_.debug_index = inner.debug_index;
+    outer_.wire.control_bits = inner.wire.control_bits;
+    outer_.wire.data_bits = inner.wire.data_bits + 32;  // the slot tag
+    mux_.net_->send(to, outer_);
   }
   ProcessId self() const override { return mux_.self_; }
   std::uint32_t process_count() const override {
@@ -44,6 +52,7 @@ class MuxProcess::SlotContext final : public NetworkContext {
  private:
   MuxProcess& mux_;
   std::uint32_t slot_;
+  Message outer_;  ///< reused envelope (the transport copies on send)
 };
 
 MuxProcess::MuxProcess(std::uint32_t slots,
@@ -55,6 +64,7 @@ MuxProcess::MuxProcess(std::uint32_t slots,
   slots_.reserve(slots);
   contexts_.reserve(slots);
   batch_versions_.assign(slots, 0);
+  slot_chain_.assign(slots, kNoChain);
   for (std::uint32_t s = 0; s < slots; ++s) {
     const GroupConfig cfg = slot_cfg(s);
     slots_.push_back(factory
@@ -81,9 +91,9 @@ void MuxProcess::on_message(NetworkContext& net, ProcessId from,
                  msg.seq < static_cast<SeqNo>(slots_.size()),
              "mux frame for unknown slot");
   const auto slot_index = static_cast<std::uint32_t>(msg.seq);
-  const Message inner =
-      slots_[slot_index]->codec().decode(msg.value.bytes());
-  slots_[slot_index]->on_message(*contexts_[slot_index], from, inner);
+  // Unwrap into the reused inbound scratch (no per-frame Value string).
+  slots_[slot_index]->codec().decode_into(msg.value.bytes(), inbound_);
+  slots_[slot_index]->on_message(*contexts_[slot_index], from, inbound_);
 }
 
 void MuxProcess::on_crash() {
@@ -115,29 +125,39 @@ void MuxProcess::start_read(NetworkContext& net, std::uint32_t slot_index,
 // step carrying only the last value. Chains for different slots are
 // independent registers, so they are all started at once and interleave
 // freely in the underlying network.
+//
+// The plan lives in recycled storage (chains, steps and their completion
+// vectors keep high-water capacity), and the per-step protocol completion
+// captures {this, packed chain/step} — 16 bytes, std::function's inline
+// buffer — so planning and running a steady-state window is allocation-free.
 
-struct MuxProcess::BatchPlan {
-  struct Step {
-    bool is_write = false;
-    Value value;  ///< surviving write value (write steps only)
-    std::vector<BatchWriteDone> write_dones;
-    std::vector<RegisterProcessBase::ReadDone> read_dones;
-  };
-  struct Chain {
-    std::uint32_t slot = 0;
-    std::vector<Step> steps;
-  };
-  std::vector<Chain> chains;
-  std::size_t outstanding = 0;  ///< chains not yet run to completion
-  std::function<void()> done;
-};
+MuxProcess::BatchPlan::Chain& MuxProcess::BatchPlan::push_chain(
+    std::uint32_t slot) {
+  if (chain_count == chains.size()) chains.emplace_back();
+  Chain& chain = chains[chain_count++];
+  chain.slot = slot;
+  chain.step_count = 0;
+  return chain;
+}
 
-void MuxProcess::start_batch(NetworkContext& net, std::vector<BatchOp> ops,
+MuxProcess::BatchPlan::Step& MuxProcess::BatchPlan::push_step(Chain& chain) {
+  if (chain.step_count == chain.steps.size()) chain.steps.emplace_back();
+  Step& step = chain.steps[chain.step_count++];
+  step.is_write = false;
+  step.version = 0;
+  step.write_dones.clear();
+  step.read_dones.clear();
+  return step;
+}
+
+void MuxProcess::start_batch(NetworkContext& net, std::span<BatchOp> ops,
                              bool coalesce_writes, std::function<void()> done,
                              BatchStats* stats) {
   net_ = &net;
   TBR_ENSURE(done != nullptr, "batch needs a completion callback");
   TBR_ENSURE(!ops.empty(), "batch must contain at least one operation");
+  TBR_ENSURE(!plan_.active,
+             "one batch at a time per mux (wait for the previous window)");
   if (stats != nullptr) {
     stats->batches += 1;
     stats->client_ops += ops.size();
@@ -145,84 +165,103 @@ void MuxProcess::start_batch(NetworkContext& net, std::vector<BatchOp> ops,
         stats->max_batch_ops, static_cast<std::uint64_t>(ops.size()));
   }
 
-  // Partition into arrival-order chains per slot.
-  std::vector<std::vector<BatchOp>> per_slot(slots_.size());
-  for (auto& op : ops) {
+  // Plan: ops are already in arrival order; route each to its slot's live
+  // chain (creating one on first touch), extending or starting a step run.
+  plan_.chain_count = 0;
+  for (BatchOp& op : ops) {
     TBR_ENSURE(op.slot < slots_.size(), "batch op for unknown slot");
-    per_slot[op.slot].push_back(std::move(op));
-  }
-
-  auto plan = std::make_shared<BatchPlan>();
-  for (std::uint32_t s = 0; s < per_slot.size(); ++s) {
-    if (per_slot[s].empty()) continue;
-    BatchPlan::Chain chain;
-    chain.slot = s;
-    for (auto& op : per_slot[s]) {
-      const bool extends_run = !chain.steps.empty() &&
-                               chain.steps.back().is_write == op.is_write;
-      if (op.is_write) {
-        if (coalesce_writes && extends_run) {
-          auto& step = chain.steps.back();
-          step.value = std::move(op.value);  // last write wins
-          step.write_dones.push_back(std::move(op.write_done));
-          if (stats != nullptr) stats->absorbed_writes += 1;
-        } else {
-          BatchPlan::Step step;
-          step.is_write = true;
-          step.value = std::move(op.value);
-          step.write_dones.push_back(std::move(op.write_done));
-          chain.steps.push_back(std::move(step));
-          if (stats != nullptr) stats->protocol_writes += 1;
-        }
+    std::uint32_t chain_index = slot_chain_[op.slot];
+    if (chain_index == kNoChain) {
+      chain_index = static_cast<std::uint32_t>(plan_.chain_count);
+      slot_chain_[op.slot] = chain_index;
+      plan_.push_chain(op.slot);
+    }
+    BatchPlan::Chain& chain = plan_.chains[chain_index];
+    const bool extends_run =
+        chain.step_count > 0 &&
+        chain.steps[chain.step_count - 1].is_write == op.is_write;
+    if (op.is_write) {
+      if (coalesce_writes && extends_run) {
+        BatchPlan::Step& step = chain.steps[chain.step_count - 1];
+        step.value = std::move(op.value);  // last write wins
+        step.write_dones.push_back(std::move(op.write_done));
+        if (stats != nullptr) stats->absorbed_writes += 1;
       } else {
-        if (extends_run) {
-          chain.steps.back().read_dones.push_back(std::move(op.read_done));
-          if (stats != nullptr) stats->coalesced_reads += 1;
-        } else {
-          BatchPlan::Step step;
-          step.read_dones.push_back(std::move(op.read_done));
-          chain.steps.push_back(std::move(step));
-          if (stats != nullptr) stats->protocol_reads += 1;
-        }
+        BatchPlan::Step& step = BatchPlan::push_step(chain);
+        step.is_write = true;
+        step.value = std::move(op.value);
+        step.write_dones.push_back(std::move(op.write_done));
+        if (stats != nullptr) stats->protocol_writes += 1;
+      }
+    } else {
+      if (extends_run) {
+        chain.steps[chain.step_count - 1].read_dones.push_back(
+            std::move(op.read_done));
+        if (stats != nullptr) stats->coalesced_reads += 1;
+      } else {
+        BatchPlan::Step& step = BatchPlan::push_step(chain);
+        step.read_dones.push_back(std::move(op.read_done));
+        if (stats != nullptr) stats->protocol_reads += 1;
       }
     }
-    plan->chains.push_back(std::move(chain));
   }
-  plan->outstanding = plan->chains.size();
-  plan->done = std::move(done);
+  for (std::size_t c = 0; c < plan_.chain_count; ++c) {
+    slot_chain_[plan_.chains[c].slot] = kNoChain;
+  }
+  plan_.outstanding = plan_.chain_count;
+  plan_.active = true;
+  plan_.done = std::move(done);
 
-  for (std::size_t c = 0; c < plan->chains.size(); ++c) {
-    run_batch_chain(plan, c, 0);
+  for (std::size_t c = 0; c < plan_.chain_count; ++c) {
+    run_batch_chain(c, 0);
   }
 }
 
-void MuxProcess::run_batch_chain(std::shared_ptr<BatchPlan> plan,
-                                 std::size_t chain, std::size_t step) {
-  auto& ch = plan->chains[chain];
-  if (step == ch.steps.size()) {
-    if (--plan->outstanding == 0) plan->done();
+void MuxProcess::run_batch_chain(std::size_t chain, std::size_t step) {
+  BatchPlan::Chain& ch = plan_.chains[chain];
+  if (step == ch.step_count) {
+    if (--plan_.outstanding == 0) {
+      plan_.active = false;
+      // Moved out first: the callback may start the next window, which
+      // reuses plan_ (including plan_.done) immediately.
+      const std::function<void()> finished = std::move(plan_.done);
+      plan_.done = nullptr;
+      finished();
+    }
     return;
   }
-  auto& st = ch.steps[step];
+  // {this, packed} is 16 bytes — std::function stores it inline.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(chain) << 32) |
+      static_cast<std::uint64_t>(step);
+  BatchPlan::Step& st = ch.steps[step];
   if (st.is_write) {
-    const SeqNo version = ++batch_versions_[ch.slot];
-    start_write(*net_, ch.slot, std::move(st.value),
-                [this, plan, chain, step, version] {
-                  auto& dones = plan->chains[chain].steps[step].write_dones;
-                  for (std::size_t k = 0; k < dones.size(); ++k) {
-                    // Only the run's last write reached the register.
-                    if (dones[k]) dones[k](version, k + 1 != dones.size());
-                  }
-                  run_batch_chain(plan, chain, step + 1);
-                });
+    st.version = ++batch_versions_[ch.slot];
+    start_write(*net_, ch.slot, std::move(st.value), [this, packed] {
+      const auto chain_index = static_cast<std::size_t>(packed >> 32);
+      const auto step_index =
+          static_cast<std::size_t>(packed & 0xFFFFFFFFu);
+      auto& done_step = plan_.chains[chain_index].steps[step_index];
+      for (std::size_t k = 0; k < done_step.write_dones.size(); ++k) {
+        // Only the run's last write reached the register.
+        if (done_step.write_dones[k]) {
+          done_step.write_dones[k](done_step.version,
+                                   k + 1 != done_step.write_dones.size());
+        }
+      }
+      run_batch_chain(chain_index, step_index + 1);
+    });
   } else {
-    start_read(*net_, ch.slot,
-               [this, plan, chain, step](const Value& v, SeqNo index) {
-                 for (auto& done : plan->chains[chain].steps[step].read_dones) {
-                   if (done) done(v, index);
-                 }
-                 run_batch_chain(plan, chain, step + 1);
-               });
+    start_read(*net_, ch.slot, [this, packed](const Value& v, SeqNo index) {
+      const auto chain_index = static_cast<std::size_t>(packed >> 32);
+      const auto step_index =
+          static_cast<std::size_t>(packed & 0xFFFFFFFFu);
+      auto& done_step = plan_.chains[chain_index].steps[step_index];
+      for (auto& done : done_step.read_dones) {
+        if (done) done(v, index);
+      }
+      run_batch_chain(chain_index, step_index + 1);
+    });
   }
 }
 

@@ -11,12 +11,21 @@
 // register instance, and each embedded two-bit register still ships
 // exactly 2 control bits per frame. The tag is tallied in the frame's
 // data_bits so the overhead stays visible in benches.
+//
+// Hot-path design: the slot wrapper reuses a per-slot scratch Message
+// (the inner frame is encoded straight into its recycled Value buffer —
+// no fresh string per send), inbound frames decode into a reused scratch
+// via Codec::decode_into, and the batching window runs on a recycled
+// BatchPlan whose chains/steps/completion vectors keep their high-water
+// capacities — so a steady-state batched operation allocates nothing
+// inside the mux.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/register_process.hpp"
@@ -70,7 +79,7 @@ class MuxProcess final : public ProcessBase {
   void start_read(NetworkContext& net, std::uint32_t slot,
                   RegisterProcessBase::ReadDone done);
 
-  // ---- batched operations (the sharded engine's batching window) -----------------
+  // ---- batched operations (the engines' batching window) -------------------------
   /// Write completion in a batch: `version` is the slot register's index
   /// the write landed as (counted here — valid as long as every write to
   /// the slot goes through this mux, which the SWMR home-node placement
@@ -100,9 +109,22 @@ class MuxProcess final : public ProcessBase {
   /// immediately before the surviving one; no read can observe the skipped
   /// values because none ever reaches the register). `done` fires once
   /// every chain has completed; `stats`, when given, tallies the savings.
-  void start_batch(NetworkContext& net, std::vector<BatchOp> ops,
+  ///
+  /// The plan is recycled storage owned by this mux: at most ONE batch may
+  /// be in flight per MuxProcess at a time (every in-tree driver waits for
+  /// the previous window before issuing the next). Op payloads and
+  /// completions are moved out of `ops`; the caller keeps the container
+  /// and its capacity for the next window.
+  void start_batch(NetworkContext& net, std::span<BatchOp> ops,
                    bool coalesce_writes, std::function<void()> done,
                    BatchStats* stats = nullptr);
+  /// Convenience overload consuming a vector (capacity is discarded).
+  void start_batch(NetworkContext& net, std::vector<BatchOp> ops,
+                   bool coalesce_writes, std::function<void()> done,
+                   BatchStats* stats = nullptr) {
+    start_batch(net, std::span<BatchOp>(ops), coalesce_writes,
+                std::move(done), stats);
+  }
 
   std::uint32_t slot_count() const {
     return static_cast<std::uint32_t>(slots_.size());
@@ -114,10 +136,34 @@ class MuxProcess final : public ProcessBase {
 
  private:
   class SlotContext;
-  struct BatchPlan;  // per-slot chains of coalesced protocol steps
 
-  void run_batch_chain(std::shared_ptr<BatchPlan> plan, std::size_t chain,
-                       std::size_t step);
+  /// The window's execution plan, recycled across batches: chains and
+  /// steps are high-water arrays with live counts, so planning a window
+  /// the same size as a previous one performs no allocation.
+  struct BatchPlan {
+    struct Step {
+      bool is_write = false;
+      Value value;  ///< surviving write value (write steps only)
+      SeqNo version = 0;  ///< assigned when the write step issues
+      std::vector<BatchWriteDone> write_dones;
+      std::vector<RegisterProcessBase::ReadDone> read_dones;
+    };
+    struct Chain {
+      std::uint32_t slot = 0;
+      std::size_t step_count = 0;  ///< live prefix of `steps`
+      std::vector<Step> steps;
+    };
+    std::size_t chain_count = 0;  ///< live prefix of `chains`
+    std::vector<Chain> chains;
+    std::size_t outstanding = 0;  ///< chains not yet run to completion
+    bool active = false;
+    std::function<void()> done;
+
+    Chain& push_chain(std::uint32_t slot);
+    static Step& push_step(Chain& chain);
+  };
+
+  void run_batch_chain(std::size_t chain, std::size_t step);
 
   ProcessId self_;
   std::vector<std::unique_ptr<RegisterProcessBase>> slots_;
@@ -125,6 +171,12 @@ class MuxProcess final : public ProcessBase {
   /// Protocol writes issued per slot via start_batch; tracks the slot
   /// register's index because this node is the slot's single writer.
   std::vector<SeqNo> batch_versions_;
+  BatchPlan plan_;
+  /// start_batch scratch: slot -> live chain index (kNoChain = none yet),
+  /// reset via the plan's chain list after each window is planned.
+  std::vector<std::uint32_t> slot_chain_;
+  /// Inbound scratch: frames decode into this reused Message.
+  Message inbound_;
   NetworkContext* net_ = nullptr;  // stable per runtime; stashed on entry
   bool crashed_ = false;
 };

@@ -12,38 +12,24 @@ namespace tbr {
 
 namespace {
 
-/// Resolve a promise that a stalled batch may also try to fail later (or
-/// vice versa): first resolution wins, the loser is a no-op.
-template <typename P, typename V>
-void fulfill(const std::shared_ptr<P>& promise, V&& value) {
-  try {
-    promise->set_value(std::forward<V>(value));
-  } catch (const std::future_error&) {
-  }
-}
-
-template <typename P>
-void fail(const std::shared_ptr<P>& promise, const std::string& why) {
-  try {
-    promise->set_exception(
-        std::make_exception_ptr(std::runtime_error(why)));
-  } catch (const std::future_error&) {
-  }
-}
+constexpr Status kStoreShutdown{StatusCode::kShutdown, "store is shut down"};
+constexpr Status kHomeCrashed{StatusCode::kCrashed,
+                              "the key's home replica has crashed"};
+constexpr Status kReaderCrashed{StatusCode::kCrashed,
+                                "the requested replica has crashed"};
+constexpr Status kLivenessRefused{
+    StatusCode::kLivenessLost, "shard lost liveness; operations are refused"};
+constexpr Status kLivenessMidBatch{StatusCode::kLivenessLost,
+                                   "shard lost liveness mid-batch"};
 
 }  // namespace
 
 /// One queued client request (or a crash marker) bound for a shard worker.
+/// The operation itself is a pooled OpState owned by the store's client;
+/// the mailbox entry is just a pointer — no promises, no shared state.
 struct ShardedKvStore::ShardOp {
-  enum class Kind { kPut, kGet, kCrash };
-  Kind kind = Kind::kGet;
-  std::uint32_t slot = 0;
-  /// kPut: home replica. kGet: requested reader (kAnyReplica = rotate).
-  /// kCrash: the victim.
-  ProcessId node = kNoProcess;
-  Value value;  ///< kPut payload
-  std::shared_ptr<std::promise<PutResult>> put_done;
-  std::shared_ptr<std::promise<GetResult>> get_done;
+  OpState* op = nullptr;             ///< null => crash marker
+  ProcessId crash_node = kNoProcess; ///< crash markers only
 };
 
 /// Everything one register group owns. The worker thread is the only one
@@ -55,6 +41,8 @@ struct ShardedKvStore::Shard {
   std::uint32_t n = 0;
   bool coalesce_writes = true;
   std::size_t max_batch = 0;
+  std::size_t min_batch = 0;
+  std::chrono::microseconds min_batch_wait{0};
   bool pin = false;
 
   MailboxT<ShardOp> mailbox;
@@ -67,8 +55,15 @@ struct ShardedKvStore::Shard {
   /// A batch stalled (more than t crashes, or an event-budget blowout).
   /// The stalled registers keep their one-op-at-a-time guard armed, so no
   /// further protocol operation may be issued here: every later client op
-  /// fails fast instead.
+  /// fails fast instead. The latch also guarantees the shard never runs
+  /// its simulator again, so a stalled window's parked callbacks can never
+  /// fire late into recycled state.
   bool lost_liveness = false;
+  /// Window scratch, reused every batch (steady state: no allocation).
+  std::vector<std::vector<MuxProcess::BatchOp>> per_node;
+  std::vector<std::pair<OpState*, std::uint32_t>> issued;  // (op, gen)
+  std::vector<OpState*> to_fail;
+  std::size_t outstanding_nodes = 0;
 
   // drain(): ops accepted but not yet resolved.
   std::mutex idle_mu;
@@ -91,6 +86,46 @@ struct ShardedKvStore::Shard {
     }
     idle_cv.notify_all();
   }
+};
+
+// ---- ClientImpl: the unified client API over the shard workers ---------------
+
+class ShardedKvStore::ClientImpl final : public KvClientEngine {
+ public:
+  explicit ClientImpl(ShardedKvStore& store) : store_(store), client_(*this) {}
+
+  void client_route(std::string_view key, OpState& st) override {
+    const ShardRouter::Placement at = store_.router_.place(key);
+    st.shard = at.shard;
+    st.slot = at.slot;
+    if (st.kind == OpKind::kWrite) {
+      st.node = at.home;
+    } else {
+      TBR_ENSURE(st.node == kAnyReplica || st.node < store_.opt_.n,
+                 "reader out of range");
+    }
+  }
+
+  void client_issue(OpState& st) override {
+    Shard& shard = *store_.shards_[st.shard];
+    shard.op_accepted();
+    ShardOp op;
+    op.op = &st;
+    if (!shard.mailbox.push(std::move(op))) {
+      shard.ops_resolved(1);
+      st.owner->complete_failed(st, kStoreShutdown);
+    }
+  }
+
+  void client_park(OpState& st, OpPool& pool) override {
+    pool.block_until_ready(st);
+  }
+
+  KvClient& client() noexcept { return client_; }
+
+ private:
+  ShardedKvStore& store_;
+  KvClient client_;
 };
 
 ShardedKvStore::ShardedKvStore(Options options)
@@ -117,7 +152,10 @@ ShardedKvStore::ShardedKvStore(Options options)
     shard->n = n;
     shard->coalesce_writes = opt_.coalesce_writes;
     shard->max_batch = opt_.max_batch;
+    shard->min_batch = opt_.min_batch;
+    shard->min_batch_wait = opt_.min_batch_wait;
     shard->pin = opt_.pin_shard_threads;
+    shard->per_node.resize(n);
 
     std::vector<std::unique_ptr<ProcessBase>> processes;
     processes.reserve(n);
@@ -136,6 +174,8 @@ ShardedKvStore::ShardedKvStore(Options options)
     shards_.push_back(std::move(shard));
   }
 
+  client_impl_ = std::make_unique<ClientImpl>(*this);
+
   workers_.reserve(opt_.shards);
   for (auto& shard : shards_) {
     workers_.emplace_back([s = shard.get()](std::stop_token st) {
@@ -144,10 +184,14 @@ ShardedKvStore::ShardedKvStore(Options options)
   }
 }
 
-ShardedKvStore::~ShardedKvStore() {
+ShardedKvStore::~ShardedKvStore() { stop(); }
+
+void ShardedKvStore::stop() {
   for (auto& shard : shards_) shard->mailbox.close();
   workers_.clear();  // jthread: request_stop + join (drains queued windows)
 }
+
+KvClient& ShardedKvStore::client() noexcept { return client_impl_->client(); }
 
 std::uint32_t ShardedKvStore::shard_count() const noexcept {
   return static_cast<std::uint32_t>(shards_.size());
@@ -161,65 +205,62 @@ ShardedKvStore::Shard& ShardedKvStore::shard_for(
   return *shards_[out.shard];
 }
 
-// ---- client API --------------------------------------------------------------
+// ---- deprecated future/blocking wrappers -------------------------------------
+//
+// Thin adapters over client(): a callback-mode submission fulfilling a
+// promise (the promise shared state is exactly the per-op allocation the
+// pooled path removes). Errors come back as std::runtime_error built from
+// the op's Status, as before.
 
 std::future<ShardedKvStore::PutResult> ShardedKvStore::put_async(
     std::string_view key, Value value) {
-  ShardRouter::Placement at;
-  Shard& shard = shard_for(key, at);
   auto promise = std::make_shared<std::promise<PutResult>>();
   auto future = promise->get_future();
-  ShardOp op;
-  op.kind = ShardOp::Kind::kPut;
-  op.slot = at.slot;
-  op.node = at.home;
-  op.value = std::move(value);
-  op.put_done = promise;
-  shard.op_accepted();
-  if (!shard.mailbox.push(std::move(op))) {
-    shard.ops_resolved(1);
-    fail(promise, "put(" + std::string(key) + "): store is shut down");
-  }
+  client().put(key, std::move(value), [promise](const OpResult& r) {
+    if (r.status.ok()) {
+      promise->set_value(PutResult{r.version, r.absorbed});
+    } else {
+      promise->set_exception(
+          std::make_exception_ptr(std::runtime_error(r.status.message())));
+    }
+  });
   return future;
 }
 
 std::future<ShardedKvStore::GetResult> ShardedKvStore::get_async(
     std::string_view key, ProcessId reader) {
-  ShardRouter::Placement at;
-  Shard& shard = shard_for(key, at);
-  TBR_ENSURE(reader == kAnyReplica || reader < opt_.n,
-             "reader out of range");
   auto promise = std::make_shared<std::promise<GetResult>>();
   auto future = promise->get_future();
-  ShardOp op;
-  op.kind = ShardOp::Kind::kGet;
-  op.slot = at.slot;
-  op.node = reader;
-  op.get_done = promise;
-  shard.op_accepted();
-  if (!shard.mailbox.push(std::move(op))) {
-    shard.ops_resolved(1);
-    fail(promise, "get(" + std::string(key) + "): store is shut down");
-  }
+  client().get(key, reader, [promise](const OpResult& r) {
+    if (r.status.ok()) {
+      promise->set_value(GetResult{r.value, r.version});
+    } else {
+      promise->set_exception(
+          std::make_exception_ptr(std::runtime_error(r.status.message())));
+    }
+  });
   return future;
 }
 
 ShardedKvStore::PutResult ShardedKvStore::put(std::string_view key,
                                               Value value) {
-  return put_async(key, std::move(value)).get();
+  const OpResult r = client().put_sync(key, std::move(value));
+  r.status.throw_if_error();
+  return PutResult{r.version, r.absorbed};
 }
 
 ShardedKvStore::GetResult ShardedKvStore::get(std::string_view key,
                                               ProcessId reader) {
-  return get_async(key, reader).get();
+  const OpResult r = client().get_sync(key, reader);
+  r.status.throw_if_error();
+  return GetResult{r.value, r.version};
 }
 
 void ShardedKvStore::crash(std::uint32_t shard, ProcessId node) {
   TBR_ENSURE(shard < shards_.size(), "shard out of range");
   TBR_ENSURE(node < opt_.n, "node out of range");
   ShardOp op;
-  op.kind = ShardOp::Kind::kCrash;
-  op.node = node;
+  op.crash_node = node;
   Shard& s = *shards_[shard];
   s.op_accepted();
   if (!s.mailbox.push(std::move(op))) s.ops_resolved(1);
@@ -266,15 +307,16 @@ void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
   // place, so steady-state batching never allocates for the window itself.
   std::vector<ShardOp> window;
   while (true) {
-    shard.mailbox.pop_all(st, window, shard.max_batch);
+    shard.mailbox.pop_all(st, window, shard.max_batch, shard.min_batch,
+                          shard.min_batch_wait);
     if (window.empty()) return;  // closed and drained, or stop requested
 
     // Crash markers apply between batching windows: everything in this
     // window is planned against the post-crash group.
     std::int64_t resolved = 0;
     for (auto& op : window) {
-      if (op.kind != ShardOp::Kind::kCrash) continue;
-      shard.net->crash_now(op.node);
+      if (op.op != nullptr) continue;
+      shard.net->crash_now(op.crash_node);
       ++resolved;
     }
 
@@ -284,14 +326,8 @@ void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
     // fast from here on.
     if (shard.lost_liveness) {
       for (auto& op : window) {
-        if (op.kind == ShardOp::Kind::kCrash) continue;
-        const std::string why = "shard " + std::to_string(shard.id) +
-                                " lost liveness; operations are refused";
-        if (op.kind == ShardOp::Kind::kPut) {
-          fail(op.put_done, "put: " + why);
-        } else {
-          fail(op.get_done, "get: " + why);
-        }
+        if (op.op == nullptr) continue;
+        op.op->owner->complete_failed(*op.op, kLivenessRefused);
         ++resolved;
         ++shard.failed_ops;
       }
@@ -303,16 +339,15 @@ void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
     // Plan the window: one MuxProcess batch per replica that has work.
     // Reads go to their chosen replica, writes to their slot's home; ops
     // whose replica has crashed fail fast, before any protocol traffic.
-    std::vector<std::vector<MuxProcess::BatchOp>> per_node(shard.n);
-    std::vector<std::shared_ptr<std::promise<PutResult>>> put_promises;
-    std::vector<std::shared_ptr<std::promise<GetResult>>> get_promises;
-    for (auto& op : window) {
-      if (op.kind == ShardOp::Kind::kCrash) continue;
-      if (op.kind == ShardOp::Kind::kPut) {
+    // All scratch (per-node op lists, the issued registry) is reused.
+    for (auto& ops : shard.per_node) ops.clear();
+    shard.issued.clear();
+    for (auto& sop : window) {
+      if (sop.op == nullptr) continue;
+      OpState& op = *sop.op;
+      if (op.kind == OpKind::kWrite) {
         if (shard.net->crashed(op.node)) {
-          fail(op.put_done, "put: home replica p" + std::to_string(op.node) +
-                                " of shard " + std::to_string(shard.id) +
-                                " has crashed");
+          op.owner->complete_failed(op, kHomeCrashed);
           ++resolved;
           ++shard.failed_ops;
           continue;
@@ -321,12 +356,14 @@ void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
         batch_op.slot = op.slot;
         batch_op.is_write = true;
         batch_op.value = std::move(op.value);
-        batch_op.write_done = [done = op.put_done](SeqNo version,
-                                                   bool absorbed) {
-          fulfill(done, PutResult{version, absorbed});
+        // One captured pointer: stays in std::function's inline storage.
+        batch_op.write_done = [&op](SeqNo version, bool absorbed) {
+          op.result.version = version;
+          op.result.absorbed = absorbed;
+          op.owner->complete(op);
         };
-        put_promises.push_back(std::move(op.put_done));
-        per_node[op.node].push_back(std::move(batch_op));
+        shard.issued.emplace_back(&op, op.gen);
+        shard.per_node[op.node].push_back(std::move(batch_op));
       } else {
         ProcessId reader = op.node;
         if (reader == kAnyReplica) {
@@ -338,57 +375,65 @@ void ShardedKvStore::worker_loop(Shard& shard, std::stop_token st) {
           }
         }
         if (shard.net->crashed(reader)) {
-          fail(op.get_done, "get: replica p" + std::to_string(reader) +
-                                " of shard " + std::to_string(shard.id) +
-                                " has crashed");
+          op.owner->complete_failed(op, kReaderCrashed);
           ++resolved;
           ++shard.failed_ops;
           continue;
         }
         MuxProcess::BatchOp batch_op;
         batch_op.slot = op.slot;
-        batch_op.read_done = [done = op.get_done](const Value& v,
-                                                  SeqNo index) {
-          fulfill(done, GetResult{v, index});
+        batch_op.read_done = [&op](const Value& v, SeqNo index) {
+          op.result.value = v;  // copy into the pooled capacity
+          op.result.version = index;
+          op.owner->complete(op);
         };
-        get_promises.push_back(std::move(op.get_done));
-        per_node[reader].push_back(std::move(batch_op));
+        shard.issued.emplace_back(&op, op.gen);
+        shard.per_node[reader].push_back(std::move(batch_op));
       }
     }
 
     // Issue every node's batch into one simulation run; chains across
     // nodes and slots interleave exactly as concurrent clients would. The
-    // completion counter is heap-held: a batch that stalls (liveness lost)
-    // leaves its callbacks parked in the simulator, and they may fire
-    // during a LATER window's run — they must land on their own window's
-    // counter, not on a dead stack slot.
-    auto outstanding_nodes = std::make_shared<std::size_t>(0);
+    // outstanding counter is a plain shard field: the lost_liveness latch
+    // guarantees a stalled window's parked callbacks can never fire later
+    // (the shard's simulator never runs again).
+    shard.outstanding_nodes = 0;
     std::size_t issued_ops = 0;
     for (ProcessId pid = 0; pid < shard.n; ++pid) {
-      if (per_node[pid].empty()) continue;
-      ++*outstanding_nodes;
-      issued_ops += per_node[pid].size();
+      auto& node_ops = shard.per_node[pid];
+      if (node_ops.empty()) continue;
+      ++shard.outstanding_nodes;
+      issued_ops += node_ops.size();
       auto& mux = shard.net->process_as<MuxProcess>(pid);
-      mux.start_batch(shard.net->context(pid), std::move(per_node[pid]),
+      mux.start_batch(shard.net->context(pid),
+                      std::span<MuxProcess::BatchOp>(node_ops),
                       shard.coalesce_writes,
-                      [outstanding_nodes] { --*outstanding_nodes; },
+                      [&shard] { --shard.outstanding_nodes; },
                       &shard.batch);
     }
-    if (*outstanding_nodes > 0) {
+    if (shard.outstanding_nodes > 0) {
       const bool ok = shard.net->run_until(
-          [outstanding_nodes] { return *outstanding_nodes == 0; });
+          [&shard] { return shard.outstanding_nodes == 0; });
       if (!ok) {
         // Liveness lost (more than t crashes, or an event-budget blowout):
         // whatever the protocol could not finish fails over to the client,
-        // and the shard refuses everything from now on (see above).
+        // and the shard refuses everything from now on (see above). The
+        // issued registry is filtered under the pool lock: ops that
+        // already completed are ready (wait mode) or recycled with a new
+        // generation (callback mode) — only the stuck ones are failed.
         shard.lost_liveness = true;
-        for (const auto& p : put_promises) {
-          fail(p, "put: shard " + std::to_string(shard.id) +
-                      " lost liveness mid-batch");
+        shard.to_fail.clear();
+        if (!shard.issued.empty()) {
+          OpPool& pool = shard.issued.front().first->owner->pool();
+          const std::scoped_lock lock(pool.mu());
+          for (const auto& [op, gen] : shard.issued) {
+            if (op->ready.load(std::memory_order_acquire)) continue;
+            if (op->gen != gen) continue;
+            shard.to_fail.push_back(op);
+          }
         }
-        for (const auto& p : get_promises) {
-          fail(p, "get: shard " + std::to_string(shard.id) +
-                      " lost liveness mid-batch");
+        for (OpState* op : shard.to_fail) {
+          op->owner->complete_failed(*op, kLivenessMidBatch);
         }
         shard.failed_ops += issued_ops;  // upper bound; resolved ops ignore it
       }

@@ -17,8 +17,12 @@
 //     protocol rounds as the register spec allows (reads issued at the same
 //     replica share one round; queued writes to one slot can collapse
 //     last-write-wins).
-//   * Clients get futures. Any thread may put/get; completions are
-//     resolved on the owning shard's worker.
+//   * Clients use the unified client() API (src/client/client.hpp): pooled
+//     Ticket/callback completions resolved on the owning shard's worker,
+//     with uniform Status outcomes. Any thread may submit. The legacy
+//     promise-backed put_async/get_async futures remain as DEPRECATED
+//     wrappers over it (one release) — they cost ~4 allocations per op,
+//     the pooled path costs none beyond the window bookkeeping.
 //
 // Atomicity is untouched: every slot is still one paper register; batching
 // only chooses WHICH protocol operations to issue, never changes what a
@@ -26,6 +30,7 @@
 // per-key histories across shard boundaries.
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -33,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/client.hpp"
 #include "kvstore/mux_process.hpp"
 #include "kvstore/shard_router.hpp"
 #include "metrics/message_stats.hpp"
@@ -57,6 +63,15 @@ class ShardedKvStore {
     bool coalesce_writes = true;
     /// Largest window handed to one batch (0 = unbounded drain).
     std::size_t max_batch = 0;
+    /// Batching window floor: a worker waits (up to min_batch_wait) until
+    /// at least this many ops are queued before opening a window, like a
+    /// group-commit minimum. 0 or 1 = drain whatever accumulated (the
+    /// default). Pipelined clients get deterministic window sizes — the
+    /// allocs-per-op gates rely on this.
+    std::size_t min_batch = 0;
+    /// Patience for min_batch before the worker opens a partial window
+    /// anyway (keeps drain()/ragged traffic live).
+    std::chrono::microseconds min_batch_wait{1000};
     /// Pin shard worker s to core s (best-effort; see runtime/affinity.hpp).
     bool pin_shard_threads = false;
 
@@ -85,7 +100,15 @@ class ShardedKvStore {
   ShardedKvStore(const ShardedKvStore&) = delete;
   ShardedKvStore& operator=(const ShardedKvStore&) = delete;
 
-  // ---- async API (any thread) ---------------------------------------------------
+  // ---- the unified client API (any thread) ---------------------------------------
+  /// Pooled Ticket/callback completions with uniform Status outcomes
+  /// (src/client/client.hpp). Ops execute inside their shard's next
+  /// batching window; completions (and callbacks) run on the shard worker.
+  /// put results carry version/absorbed; steady state costs at most one
+  /// allocation per op end to end (gated).
+  KvClient& client() noexcept;
+
+  // ---- async API (any thread; DEPRECATED: use client()) ---------------------------
   /// Store `value` under `key`; executes at the key's home replica inside
   /// its shard's next batching window. The future throws if the home
   /// replica crashed or the store shut down.
@@ -94,7 +117,7 @@ class ShardedKvStore {
   std::future<GetResult> get_async(std::string_view key,
                                    ProcessId reader = kAnyReplica);
 
-  // ---- blocking convenience ------------------------------------------------------
+  // ---- blocking convenience (DEPRECATED: use client()) ----------------------------
   PutResult put(std::string_view key, Value value);
   GetResult get(std::string_view key, ProcessId reader = kAnyReplica);
 
@@ -103,6 +126,10 @@ class ShardedKvStore {
   void crash(std::uint32_t shard, ProcessId node);
   /// Block until every shard queue is empty and its worker is idle.
   void drain();
+  /// Stop accepting work and join the shard workers (already-queued
+  /// windows drain first). Idempotent; the destructor calls it. Later
+  /// submissions complete with StatusCode::kShutdown.
+  void stop();
 
   const ShardRouter& router() const noexcept { return router_; }
   std::uint32_t shard_count() const noexcept;
@@ -124,6 +151,7 @@ class ShardedKvStore {
  private:
   struct Shard;
   struct ShardOp;
+  class ClientImpl;
 
   Shard& shard_for(std::string_view key, ShardRouter::Placement& out);
   static void worker_loop(Shard& shard, std::stop_token st);
@@ -133,6 +161,7 @@ class ShardedKvStore {
   Options opt_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ClientImpl> client_impl_;  // engine + KvClient
   std::vector<std::jthread> workers_;
 };
 

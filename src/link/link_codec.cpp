@@ -19,20 +19,19 @@ void LinkCodec::encode_into(const Message& msg, std::string& out) const {
   }
 }
 
-Message LinkCodec::decode(std::string_view bytes) const {
+void LinkCodec::decode_into(std::string_view bytes, Message& msg) const {
+  wire::reset_for_decode(msg);
   std::size_t pos = 0;
-  Message msg;
   msg.type = wire::get_u8(bytes, pos);
   TBR_ENSURE(msg.type <= 1, "bad link frame type");
   msg.seq = static_cast<SeqNo>(wire::get_u64(bytes, pos));
   if (msg.type == static_cast<std::uint8_t>(LinkType::kData)) {
     const auto len = wire::get_u32(bytes, pos);
-    msg.value = Value::from_bytes(wire::get_blob(bytes, pos, len));
+    wire::get_blob_into(bytes, pos, len, msg.value.mutable_bytes());
     msg.has_value = true;
   }
   TBR_ENSURE(pos == bytes.size(), "trailing bytes in link frame");
   msg.wire = account(msg);
-  return msg;
 }
 
 WireAccounting LinkCodec::account(const Message& msg) const {

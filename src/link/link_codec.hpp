@@ -28,7 +28,7 @@ enum class LinkType : std::uint8_t {
 class LinkCodec final : public Codec {
  public:
   void encode_into(const Message& msg, std::string& out) const override;
-  Message decode(std::string_view bytes) const override;
+  void decode_into(std::string_view bytes, Message& out) const override;
   WireAccounting account(const Message& msg) const override;
   std::string type_name(std::uint8_t type) const override;
 

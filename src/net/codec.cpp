@@ -39,9 +39,26 @@ std::string get_blob(std::string_view bytes, std::size_t& pos,
   return out;
 }
 
+void get_blob_into(std::string_view bytes, std::size_t& pos, std::size_t len,
+                   std::string& out) {
+  TBR_ENSURE(pos + len <= bytes.size(), "truncated frame (blob)");
+  out.assign(bytes.substr(pos, len));
+  pos += len;
+}
+
 void skip_blob(std::string_view bytes, std::size_t& pos, std::size_t len) {
   TBR_ENSURE(pos + len <= bytes.size(), "truncated frame (blob)");
   pos += len;
+}
+
+void reset_for_decode(Message& msg) {
+  msg.type = 0;
+  msg.seq = 0;
+  msg.aux = 0;
+  msg.has_value = false;
+  msg.value.mutable_bytes().clear();
+  msg.wire = WireAccounting{};
+  msg.debug_index = -1;
 }
 
 }  // namespace tbr::wire

@@ -32,9 +32,22 @@ class Codec {
     return out;
   }
 
-  /// Parse wire bytes; inverse of encode for all fields the codec carries.
-  /// Throws ContractViolation on malformed input.
-  virtual Message decode(std::string_view bytes) const = 0;
+  /// Parse wire bytes into a caller-owned Message, the decode-side mirror
+  /// of encode_into: every field is reset/overwritten, and the payload is
+  /// assigned into `out.value`'s existing buffer — a recycled scratch
+  /// Message makes steady-state decoding of large payloads allocation-free
+  /// (the threaded receive path and the mux slot demultiplexer do this).
+  /// Throws ContractViolation on malformed input; `out` may hold a partial
+  /// decode afterwards, callers must not use it.
+  virtual void decode_into(std::string_view bytes, Message& out) const = 0;
+
+  /// Parse wire bytes into a fresh Message (convenience over decode_into).
+  /// Inverse of encode for all fields the codec carries.
+  Message decode(std::string_view bytes) const {
+    Message out;
+    decode_into(bytes, out);
+    return out;
+  }
 
   /// Control/data bit accounting for this frame.
   virtual WireAccounting account(const Message& msg) const = 0;
@@ -64,10 +77,18 @@ std::uint64_t get_u64(std::string_view bytes, std::size_t& pos);
 std::uint8_t get_u8(std::string_view bytes, std::size_t& pos);
 std::string get_blob(std::string_view bytes, std::size_t& pos,
                      std::size_t len);
+/// Bounds-checked blob read into a caller-owned buffer (assign reuses its
+/// capacity — the decode_into hot path).
+void get_blob_into(std::string_view bytes, std::size_t& pos, std::size_t len,
+                   std::string& out);
 /// Bounds-check and skip `len` blob bytes without materializing a string
 /// (for fields whose content is modeled but never read, e.g. the phased
 /// codec's bounded-label padding).
 void skip_blob(std::string_view bytes, std::size_t& pos, std::size_t len);
+
+/// Reset a scratch Message for decode_into: every field back to its
+/// default, keeping the value buffer's capacity.
+void reset_for_decode(Message& msg);
 
 }  // namespace wire
 

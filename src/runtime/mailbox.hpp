@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include <variant>
 #include <vector>
 
+#include "client/status.hpp"
 #include "common/ids.hpp"
 #include "common/value.hpp"
 #include "net/message.hpp"
@@ -40,19 +42,20 @@ struct DeliverEnvelope {
   std::string encoded;  ///< wire bytes; decoded by the recipient's codec
 };
 
-/// Completion callbacks for the client fast path. `error` is nullptr on
-/// success, otherwise a static description ("process has crashed", ...).
-/// Callbacks run on the owning process's thread; captures up to two
-/// pointers stay inside std::function's inline storage, so a lean caller
-/// pays no allocation per operation.
+/// Completion callbacks for the client fast path. `status` is the client
+/// layer's uniform outcome type (ok / crashed / shut down; see
+/// client/status.hpp) built from static strings — no allocation. Callbacks
+/// run on the owning process's thread; captures up to two pointers stay
+/// inside std::function's inline storage, so a lean caller pays no
+/// allocation per operation.
 struct ReadResultT {
   Value value;
   SeqNo index = -1;
   Tick latency = 0;
 };
-using WriteCallback = std::function<void(Tick latency_ns, const char* error)>;
+using WriteCallback = std::function<void(Tick latency_ns, Status status)>;
 using ReadCallback =
-    std::function<void(const ReadResultT& result, const char* error)>;
+    std::function<void(const ReadResultT& result, Status status)>;
 
 /// Client request: start a write on this (writer) process.
 struct WriteEnvelope {
@@ -108,11 +111,24 @@ class MailboxT {
   /// `out`, which is cleared first — reuse one buffer across calls and the
   /// drain itself never allocates. `out` left empty means stopped or
   /// closed: the consumer's exit signal.
+  ///
+  /// `min_items` > 1 is a batching-window floor (group-commit style): the
+  /// consumer lingers up to `min_wait` for the queue to reach `min_items`
+  /// before draining, so pipelined producers get deterministic window
+  /// sizes; close(), stop, or the timeout open a partial window anyway.
   void pop_all(std::stop_token st, std::vector<T>& out,
-               std::size_t max_items = 0) {
+               std::size_t max_items = 0, std::size_t min_items = 1,
+               std::chrono::microseconds min_wait =
+                   std::chrono::microseconds(0)) {
     out.clear();
     std::unique_lock lock(mu_);
     cv_.wait(lock, st, [this] { return count_ > 0 || closed_; });
+    if (min_items > 1 && count_ < min_items && !closed_ &&
+        min_wait.count() > 0) {
+      (void)cv_.wait_for(lock, st, min_wait, [this, min_items] {
+        return count_ >= min_items || closed_;
+      });
+    }
     if (count_ == 0) return;  // stopped or closed
     const std::size_t take_n =
         max_items == 0 ? count_ : std::min(count_, max_items);

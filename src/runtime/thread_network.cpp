@@ -11,8 +11,9 @@ namespace tbr {
 using Clock = std::chrono::steady_clock;
 
 namespace {
-constexpr const char* kCrashedError = "process has crashed";
-constexpr const char* kShutdownError = "network is shut down";
+constexpr Status kCrashedStatus{StatusCode::kCrashed, "process has crashed"};
+constexpr Status kShutdownStatus{StatusCode::kShutdown,
+                                 "network is shut down"};
 }  // namespace
 
 // ---- ProcessHost: one process, its mailbox, its thread ----------------------
@@ -59,19 +60,21 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
 
   static void fail_if_request(Envelope& env) {
     if (auto* w = std::get_if<WriteEnvelope>(&env)) {
-      w->done(0, kCrashedError);
+      w->done(0, kCrashedStatus);
     }
     if (auto* r = std::get_if<ReadEnvelope>(&env)) {
-      r->done(ReadResultT{}, kCrashedError);
+      r->done(ReadResultT{}, kCrashedStatus);
     }
   }
 
   void handle_one(DeliverEnvelope e) {
-    const Message msg = proc_->codec().decode(e.encoded);
+    // Decode into the host's scratch Message: large payloads land in the
+    // scratch value's recycled buffer instead of a fresh string per frame.
+    proc_->codec().decode_into(e.encoded, inbound_);
     // The wire buffer's job is done; hand its capacity back to the pool
     // before the handler runs (its sends will want encode buffers).
     net_.recycle_buffer(std::move(e.encoded));
-    proc_->on_message(*this, e.from, msg);
+    proc_->on_message(*this, e.from, inbound_);
   }
 
   void handle_one(WriteEnvelope e) {
@@ -81,7 +84,7 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
     proc_->start_write(*this, std::move(e.value), [this, start] {
       const WriteCallback done = std::move(pending_write_);
       pending_write_ = nullptr;
-      if (done) done(net_.now() - start, nullptr);
+      if (done) done(net_.now() - start, Status());
     });
   }
 
@@ -91,7 +94,7 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
     proc_->start_read(*this, [this, start](const Value& v, SeqNo index) {
       const ReadCallback done = std::move(pending_read_);
       pending_read_ = nullptr;
-      if (done) done(ReadResultT{v, index, net_.now() - start}, nullptr);
+      if (done) done(ReadResultT{v, index, net_.now() - start}, Status());
     });
   }
 
@@ -104,12 +107,12 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
     if (pending_write_) {
       const WriteCallback done = std::move(pending_write_);
       pending_write_ = nullptr;
-      done(0, kCrashedError);
+      done(0, kCrashedStatus);
     }
     if (pending_read_) {
       const ReadCallback done = std::move(pending_read_);
       pending_read_ = nullptr;
-      done(ReadResultT{}, kCrashedError);
+      done(ReadResultT{}, kCrashedStatus);
     }
   }
 
@@ -121,6 +124,7 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   ProcessId pid_;
   std::unique_ptr<RegisterProcessBase> proc_;
   Mailbox mailbox_;
+  Message inbound_;  ///< decode_into scratch (loop thread only)
   std::atomic<bool> crashed_{false};
   // In-flight client operation callbacks (loop thread only): invoked by
   // the completion callback or failed by a crash, whichever comes first.
@@ -128,6 +132,69 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   // only {this, start} and stay allocation-free.
   WriteCallback pending_write_;
   ReadCallback pending_read_;
+};
+
+// ---- ClientImpl: the unified client API over this runtime -------------------
+//
+// Issue = push a Write/ReadEnvelope whose completion callback captures one
+// OpState pointer (std::function inline storage; no allocation); park =
+// block on the client pool's condition variable. Completion is guaranteed:
+// the runtime's crash and shutdown paths fail every accepted envelope.
+
+class ThreadNetwork::ClientImpl final : public RegisterClientEngine {
+ public:
+  explicit ClientImpl(ThreadNetwork& net) : net_(net), client_(*this) {}
+
+  std::uint32_t client_nodes() const override { return net_.cfg_.n; }
+  ProcessId client_writer() const override { return net_.cfg_.writer; }
+
+  ProcessId client_pick_reader() override {
+    for (std::uint32_t tries = 0; tries < net_.cfg_.n; ++tries) {
+      const ProcessId r = static_cast<ProcessId>(
+          next_reader_.fetch_add(1, std::memory_order_relaxed) % net_.cfg_.n);
+      if (!net_.crashed(r)) return r;
+    }
+    return 0;
+  }
+
+  void client_issue(OpState& st) override {
+    TBR_ENSURE(net_.started_, "start() the network first");
+    st.start = net_.now();
+    if (st.kind == OpKind::kWrite) {
+      WriteEnvelope env{std::move(st.value),
+                        WriteCallback([&st](Tick latency, Status status) {
+                          st.result.status = status;
+                          st.result.latency = latency;
+                          st.owner->complete(st);
+                        })};
+      if (!net_.hosts_[st.node]->mailbox().push(std::move(env))) {
+        st.owner->complete_failed(st, kShutdownStatus);
+      }
+    } else {
+      ReadEnvelope env{
+          ReadCallback([&st](const ReadResultT& r, Status status) {
+            st.result.status = status;
+            st.result.value = r.value;  // copy into the pooled capacity
+            st.result.version = r.index;
+            st.result.latency = r.latency;
+            st.owner->complete(st);
+          })};
+      if (!net_.hosts_[st.node]->mailbox().push(std::move(env))) {
+        st.owner->complete_failed(st, kShutdownStatus);
+      }
+    }
+  }
+
+  void client_park(OpState& st, OpPool& pool) override {
+    pool.block_until_ready(st);
+  }
+
+  RegisterClient& client() noexcept { return client_; }
+
+ private:
+  ThreadNetwork& net_;
+  std::atomic<std::uint32_t> next_reader_{0};
+  RegisterClient client_;
 };
 
 // ---- ThreadNetwork -----------------------------------------------------------
@@ -148,6 +215,11 @@ ThreadNetwork::ThreadNetwork(Options options)
     hosts_.push_back(std::make_unique<ProcessHost>(*this, pid,
                                                    std::move(proc)));
   }
+  client_impl_ = std::make_unique<ClientImpl>(*this);
+}
+
+RegisterClient& ThreadNetwork::client() noexcept {
+  return client_impl_->client();
 }
 
 ThreadNetwork::~ThreadNetwork() { stop(); }
@@ -303,7 +375,7 @@ void ThreadNetwork::write_async(Value v, WriteCallback done) {
   if (!hosts_[cfg_.writer]->mailbox().push(std::move(env))) {
     // push() moves from its argument only on success, so this branch
     // still owns the callback.
-    env.done(0, kShutdownError);
+    env.done(0, kShutdownStatus);
   }
 }
 
@@ -313,19 +385,19 @@ void ThreadNetwork::read_async(ProcessId reader, ReadCallback done) {
   TBR_ENSURE(done != nullptr, "read_async needs a completion callback");
   ReadEnvelope env{std::move(done)};
   if (!hosts_[reader]->mailbox().push(std::move(env))) {
-    env.done(ReadResultT{}, kShutdownError);
+    env.done(ReadResultT{}, kShutdownStatus);
   }
 }
 
 std::future<Tick> ThreadNetwork::write(Value v) {
   auto promise = std::make_shared<std::promise<Tick>>();
   auto future = promise->get_future();
-  write_async(std::move(v), [promise](Tick latency, const char* error) {
-    if (error == nullptr) {
+  write_async(std::move(v), [promise](Tick latency, Status status) {
+    if (status.ok()) {
       promise->set_value(latency);
     } else {
       promise->set_exception(
-          std::make_exception_ptr(std::runtime_error(error)));
+          std::make_exception_ptr(std::runtime_error(status.message())));
     }
   });
   return future;
@@ -335,12 +407,12 @@ std::future<ThreadNetwork::ReadResult> ThreadNetwork::read(ProcessId reader) {
   auto promise = std::make_shared<std::promise<ReadResult>>();
   auto future = promise->get_future();
   read_async(reader,
-             [promise](const ReadResultT& result, const char* error) {
-               if (error == nullptr) {
+             [promise](const ReadResultT& result, Status status) {
+               if (status.ok()) {
                  promise->set_value(result);
                } else {
-                 promise->set_exception(
-                     std::make_exception_ptr(std::runtime_error(error)));
+                 promise->set_exception(std::make_exception_ptr(
+                     std::runtime_error(status.message())));
                }
              });
   return future;

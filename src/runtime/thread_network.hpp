@@ -13,10 +13,13 @@
 // inside std::function's inline storage — so a steady-state operation
 // allocates nothing in the runtime.
 //
-// Client API: write_async/read_async are the allocation-free fast path
-// (callback runs on the owning process's thread; do not block in it). The
-// future-based write()/read() wrappers remain for callers that want to
-// park on a result; any thread may call either, plus crash().
+// Client API: client() exposes the unified RegisterClient (pooled
+// Ticket/callback completions, uniform Status — see src/client/client.hpp);
+// it reaches steady-state zero allocations per operation in both shapes.
+// write_async/read_async are the raw callback path underneath it (callback
+// runs on the owning process's thread; do not block in it). The
+// future-based write()/read() wrappers are DEPRECATED (one release):
+// they allocate promise shared state per op — migrate to client().
 #pragma once
 
 #include <chrono>
@@ -27,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/client.hpp"
 #include "common/rng.hpp"
 #include "metrics/message_stats.hpp"
 #include "net/register_process.hpp"
@@ -67,16 +71,22 @@ class ThreadNetwork {
   /// Stop threads and reject further work. Idempotent; called by ~.
   void stop();
 
+  // ---- the unified client API ----------------------------------------------
+  /// Pooled Ticket/callback completions with uniform Status outcomes
+  /// (src/client/client.hpp). Safe from any thread; completions run on the
+  /// owning process's thread. Steady state: zero allocations per op.
+  RegisterClient& client() noexcept;
+
   // ---- client fast path (allocation-free completion) -----------------------
-  /// Start a write at the writer process; `done(latency_ns, error)` runs on
-  /// the writer's thread when the operation completes (error != nullptr:
+  /// Start a write at the writer process; `done(latency_ns, status)` runs
+  /// on the writer's thread when the operation completes (non-ok status:
   /// the writer crashed or the network is shut down).
   void write_async(Value v, WriteCallback done);
-  /// Start a read at `reader`; `done(result, error)` runs on the reader's
+  /// Start a read at `reader`; `done(result, status)` runs on the reader's
   /// thread.
   void read_async(ProcessId reader, ReadCallback done);
 
-  // ---- future-based convenience API ----------------------------------------
+  // ---- future-based convenience API (DEPRECATED: use client()) -------------
   /// Asynchronous write from the writer process; future resolves with the
   /// operation latency (ns) or throws if the writer crashed.
   std::future<Tick> write(Value v);
@@ -95,6 +105,7 @@ class ThreadNetwork {
 
  private:
   class ProcessHost;
+  class ClientImpl;
   struct PendingFrame {
     Tick release_at = 0;
     std::uint64_t seq = 0;
@@ -122,6 +133,7 @@ class ThreadNetwork {
   GroupConfig cfg_;
   Options opt_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
+  std::unique_ptr<ClientImpl> client_impl_;  // engine + RegisterClient
 
   // Dispatcher state.
   mutable std::mutex dispatch_mu_;

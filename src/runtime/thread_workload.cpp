@@ -42,25 +42,24 @@ ThreadWorkloadResult run_thread_workload(const ThreadWorkloadOptions& options) {
     std::vector<std::jthread> clients;
     clients.reserve(cfg.n + 1);
 
+    RegisterClient& client = net.client();
     for (ProcessId pid = 0; pid < cfg.n; ++pid) {
       clients.emplace_back([&, pid] {
         Rng rng(options.seed ^ (0x9E37ULL * (pid + 1)));
         for (std::uint32_t k = 0; k < options.ops_per_process; ++k) {
           const bool is_writer = (pid == cfg.writer);
-          try {
-            if (is_writer) {
-              const SeqNo index = static_cast<SeqNo>(k) + 1;
-              Value v = Value::from_int64(index);
-              const auto id = log.begin_write(pid, net.now(), index, v);
-              net.write(std::move(v)).get();
-              log.end_write(id, net.now());
-            } else {
-              const auto id = log.begin_read(pid, net.now());
-              auto result = net.read(pid).get();
-              log.end_read(id, net.now(), result.value, result.index);
-            }
-          } catch (const std::runtime_error&) {
-            break;  // our process crashed mid-operation
+          if (is_writer) {
+            const SeqNo index = static_cast<SeqNo>(k) + 1;
+            Value v = Value::from_int64(index);
+            const auto id = log.begin_write(pid, net.now(), index, v);
+            const OpResult r = client.write_sync(std::move(v));
+            if (!r.status.ok()) break;  // we crashed mid-operation
+            log.end_write(id, net.now());
+          } else {
+            const auto id = log.begin_read(pid, net.now());
+            const OpResult r = client.read_sync(pid);
+            if (!r.status.ok()) break;
+            log.end_read(id, net.now(), r.value, r.version);
           }
           completed[pid].fetch_add(1, std::memory_order_relaxed);
           const auto think = rng.uniform(0, 200);

@@ -19,7 +19,7 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 // Length-prefixed framing on the byte stream.
-void append_frame(std::string& out, const std::string& encoded) {
+void append_frame(std::string& out, std::string_view encoded) {
   const auto len = static_cast<std::uint32_t>(encoded.size());
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
@@ -61,7 +61,11 @@ class SocketNetwork::Node final : public NetworkContext {
       net_.record_drop(msg.type);
       return;
     }
-    append_frame(peer.outbuf, proc_->codec().encode(msg));
+    // encode_into a reused scratch, then frame into the peer's outbuf: no
+    // fresh string per send (the buffer-pool discipline of the threaded
+    // runtime, ported to the socket path).
+    proc_->codec().encode_into(msg, encode_scratch_);
+    append_frame(peer.outbuf, encode_scratch_);
     flush_out(to);
   }
   ProcessId self() const override { return pid_; }
@@ -300,10 +304,12 @@ class SocketNetwork::Node final : public NetworkContext {
     while (!crashed_ && peer.alive && peer.inbuf.size() >= pos + 4) {
       const std::uint32_t len = peek_u32(peer.inbuf, pos);
       if (peer.inbuf.size() < pos + 4 + len) break;
-      const Message msg = proc_->codec().decode(
-          std::string_view(peer.inbuf).substr(pos + 4, len));
+      // decode_into the loop's scratch Message: large payloads reuse its
+      // value buffer instead of materializing a fresh string per frame.
+      proc_->codec().decode_into(
+          std::string_view(peer.inbuf).substr(pos + 4, len), inbound_);
       pos += 4 + len;
-      proc_->on_message(*this, p, msg);
+      proc_->on_message(*this, p, inbound_);
     }
     if (!crashed_ && peer.alive && pos > 0) peer.inbuf.erase(0, pos);
   }
@@ -345,6 +351,8 @@ class SocketNetwork::Node final : public NetworkContext {
   ProcessId pid_;
   std::unique_ptr<RegisterProcessBase> proc_;
   std::vector<Peer> peers_;
+  std::string encode_scratch_;  ///< reused wire buffer (loop thread only)
+  Message inbound_;             ///< decode_into scratch (loop thread only)
   OwnedFd listener_;
   OwnedFd wake_rd_, wake_wr_;
 

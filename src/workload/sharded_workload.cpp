@@ -92,6 +92,7 @@ ShardedWorkloadResult run_sharded_workload(
   store_opt.seed = options.seed;
   store_opt.coalesce_writes = options.coalesce_writes;
   store_opt.max_batch = options.max_batch;
+  store_opt.min_batch = options.min_batch;
   store_opt.pin_shard_threads = options.pin_shard_threads;
   ShardedKvStore store(std::move(store_opt));
 
@@ -109,42 +110,33 @@ ShardedWorkloadResult run_sharded_workload(
       clients.emplace_back([&, c] {
         // Client c owns ops c, c+threads, c+2*threads, ... — every client
         // sees the full key/skew mix. Submission runs in waves of
-        // `client_pipeline` async ops so each shard's mailbox accumulates
+        // `client_pipeline` pooled ops (the unified KvClient: a Ticket per
+        // op, no promise shared state) so each shard's mailbox accumulates
         // a real batching window.
-        std::vector<std::future<ShardedKvStore::PutResult>> puts;
-        std::vector<std::future<ShardedKvStore::GetResult>> gets;
+        KvClient& client = store.client();
+        std::vector<Ticket> wave;
+        wave.reserve(options.client_pipeline);
         auto settle_wave = [&] {
-          for (auto& f : puts) {
-            try {
-              (void)f.get();
+          for (const Ticket& t : wave) {
+            const OpResult r = client.wait(t);
+            if (r.status.ok()) {
               ++completed[c];
-            } catch (const std::runtime_error&) {
+            } else {
               ++failed[c];
             }
           }
-          for (auto& f : gets) {
-            try {
-              (void)f.get();
-              ++completed[c];
-            } catch (const std::runtime_error&) {
-              ++failed[c];
-            }
-          }
-          puts.clear();
-          gets.clear();
+          wave.clear();
         };
         for (std::uint64_t k = c; k < ops.size();
              k += options.client_threads) {
           const GenOp& op = ops[k];
           if (op.is_write) {
-            puts.push_back(store.put_async(keys[op.key_id],
-                                           Value::from_int64(op.payload)));
+            wave.push_back(client.put(keys[op.key_id],
+                                      Value::from_int64(op.payload)));
           } else {
-            gets.push_back(store.get_async(keys[op.key_id]));
+            wave.push_back(client.get(keys[op.key_id]));
           }
-          if (puts.size() + gets.size() >= options.client_pipeline) {
-            settle_wave();
-          }
+          if (wave.size() >= options.client_pipeline) settle_wave();
         }
         settle_wave();
       });

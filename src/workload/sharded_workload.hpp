@@ -52,6 +52,9 @@ struct ShardedWorkloadOptions {
   /// Batching-window cap (ops). In the projection this bounds how much a
   /// backlog can amortize; 0 = unbounded.
   std::size_t max_batch = 256;
+  /// Batching-window floor for the live engine (group-commit style; see
+  /// ShardedKvStore::Options::min_batch). 0 = drain whatever accumulated.
+  std::size_t min_batch = 0;
 
   // ---- projection mode ------------------------------------------------------
   Tick delay_ticks = 1000;   ///< channel delay Δ

@@ -4,6 +4,90 @@
 
 namespace tbr {
 
+// ---- ClientImpl: the unified client API over the simulator -------------------
+//
+// Issue = start the protocol op with a completion capturing two pointers
+// (std::function inline storage); park = drive the event loop until the
+// op's ready flag rises. Submit-side failures (crashed target) complete
+// synchronously with a non-ok Status. Heap-held so client handles stay
+// valid across moves of the owning group.
+
+class SimRegisterGroup::ClientImpl final : public RegisterClientEngine {
+ public:
+  ClientImpl(SimNetwork& net, GroupConfig cfg)
+      : net_(&net), cfg_(std::move(cfg)), client_(*this) {}
+
+  std::uint32_t client_nodes() const override { return cfg_.n; }
+  ProcessId client_writer() const override { return cfg_.writer; }
+
+  ProcessId client_pick_reader() override {
+    for (std::uint32_t tries = 0; tries < cfg_.n; ++tries) {
+      const ProcessId r = next_reader_;
+      next_reader_ = (next_reader_ + 1) % cfg_.n;
+      if (!net_->crashed(r)) return r;
+    }
+    return 0;
+  }
+
+  void client_issue(OpState& st) override {
+    if (net_->crashed(st.node)) {
+      st.owner->complete_failed(
+          st, Status(StatusCode::kCrashed, st.kind == OpKind::kWrite
+                                               ? "writer has crashed"
+                                               : "reader has crashed"));
+      return;
+    }
+    st.start = net_->now();
+    auto& proc = net_->process_as<RegisterProcessBase>(st.node);
+    if (st.kind == OpKind::kWrite) {
+      proc.start_write(net_->context(st.node), std::move(st.value),
+                       [this, &st] {
+                         st.result.latency = net_->now() - st.start;
+                         st.owner->complete(st);
+                       });
+    } else {
+      proc.start_read(net_->context(st.node),
+                      [this, &st](const Value& v, SeqNo index) {
+                        st.result.value = v;  // copy into pooled capacity
+                        st.result.version = index;
+                        st.result.latency = net_->now() - st.start;
+                        st.owner->complete(st);
+                      });
+    }
+  }
+
+  void client_park(OpState& st, OpPool& /*pool*/) override {
+    const bool ok = net_->run_until(
+        [&st] { return st.ready.load(std::memory_order_acquire); });
+    if (!ok) {
+      st.result.status =
+          Status(StatusCode::kLivenessLost,
+                 "register group cannot complete the operation "
+                 "(crashed quorum or stuck run)");
+    }
+  }
+
+  RegisterClient& client() noexcept { return client_; }
+
+ private:
+  SimNetwork* net_;
+  GroupConfig cfg_;
+  ProcessId next_reader_ = 0;
+  RegisterClient client_;
+};
+
+SimRegisterGroup::SimRegisterGroup(SimRegisterGroup&&) noexcept = default;
+SimRegisterGroup& SimRegisterGroup::operator=(SimRegisterGroup&&) noexcept =
+    default;
+SimRegisterGroup::~SimRegisterGroup() = default;
+
+RegisterClient& SimRegisterGroup::client() {
+  if (!client_impl_) {
+    client_impl_ = std::make_unique<ClientImpl>(*net_, cfg_);
+  }
+  return client_impl_->client();
+}
+
 SimRegisterGroup::SimRegisterGroup(Options options)
     : cfg_(std::move(options.cfg)), algo_(options.algo) {
   cfg_.validate();

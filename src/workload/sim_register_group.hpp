@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "client/client.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/sim_network.hpp"
 #include "workload/algorithms.hpp"
@@ -40,6 +41,17 @@ class SimRegisterGroup {
   static constexpr Tick kDefaultDelta = 1000;
 
   explicit SimRegisterGroup(Options options);
+  SimRegisterGroup(SimRegisterGroup&&) noexcept;
+  SimRegisterGroup& operator=(SimRegisterGroup&&) noexcept;
+  ~SimRegisterGroup();
+
+  // ---- the unified client API ------------------------------------------------
+  /// Pooled Ticket/callback completions with uniform Status outcomes
+  /// (src/client/client.hpp). wait() drives the simulator until the op
+  /// completes; submit-side failures (crashed target) complete immediately
+  /// with a non-ok Status instead of throwing. Steady state: zero
+  /// allocations per operation. Lazily built; stable across group moves.
+  RegisterClient& client();
 
   // ---- blocking API ----------------------------------------------------------
   /// Write from the configured writer; returns the operation latency in
@@ -72,9 +84,12 @@ class SimRegisterGroup {
   RegisterProcessBase& process(ProcessId pid);
 
  private:
+  class ClientImpl;
+
   GroupConfig cfg_;
   Algorithm algo_;
   std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<ClientImpl> client_impl_;  // engine + RegisterClient
 };
 
 }  // namespace tbr

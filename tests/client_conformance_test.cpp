@@ -1,0 +1,371 @@
+// Client-API conformance: the SAME operations produce the SAME Status
+// outcomes on every engine that hosts a client.
+//
+// The point of the unified client layer is that "what happened to my op"
+// no longer depends on which runtime executed it: a crashed target is
+// StatusCode::kCrashed everywhere, a stopped engine is kShutdown, an
+// over-budget crash set is kLivenessLost, and a coalesced write reports
+// absorbed = true with the surviving version — whether the op ran on the
+// simulator, on real threads, on the flat sim-backed store, or on the
+// sharded engine's workers.
+//
+// Register engines under test: SimRegisterGroup, ThreadNetwork.
+// KV engines under test:       KvStore (flat), ShardedKvStore.
+//
+// (The threaded runtime intentionally has no liveness verdict: real time
+// has no "the queue drained" moment, so an op against a dead quorum waits
+// until its target crashes or the network stops. The liveness cases below
+// therefore cover the three sim-backed engines.)
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "kvstore/kv_store.hpp"
+#include "kvstore/sharded_store.hpp"
+#include "runtime/thread_network.hpp"
+#include "workload/sim_register_group.hpp"
+
+namespace tbr {
+namespace {
+
+GroupConfig small_cfg(std::uint32_t n = 3, std::uint32_t t = 1) {
+  GroupConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.writer = 0;
+  cfg.initial = Value::from_string("v0");
+  return cfg;
+}
+
+SimRegisterGroup make_sim_group() {
+  SimRegisterGroup::Options opt;
+  opt.cfg = small_cfg();
+  opt.algo = Algorithm::kTwoBit;
+  return SimRegisterGroup(std::move(opt));
+}
+
+std::unique_ptr<ThreadNetwork> make_thread_net() {
+  ThreadNetwork::Options opt;
+  opt.cfg = small_cfg();
+  opt.algo = Algorithm::kTwoBit;
+  opt.max_delay_us = 0;
+  auto net = std::make_unique<ThreadNetwork>(opt);
+  net->start();
+  return net;
+}
+
+/// The shared register-client script: some writes and reads, then ops
+/// against a crashed reader and a crashed writer. Returns the outcome
+/// codes in script order so both engines can be compared verbatim.
+struct RegisterScriptOutcome {
+  std::vector<StatusCode> codes;
+  std::string last_read_value;
+  SeqNo last_read_version = -1;
+};
+
+RegisterScriptOutcome run_register_script(RegisterClient& client,
+                                          const std::function<void(ProcessId)>& crash) {
+  RegisterScriptOutcome out;
+  out.codes.push_back(
+      client.write_sync(Value::from_string("a")).status.code());
+  out.codes.push_back(
+      client.write_sync(Value::from_string("b")).status.code());
+  const OpResult read = client.read_sync(1);
+  out.codes.push_back(read.status.code());
+  out.last_read_value = read.value.to_string();
+  out.last_read_version = read.version;
+
+  crash(2);  // a reader replica
+  out.codes.push_back(client.read_sync(2).status.code());   // crashed reader
+  out.codes.push_back(client.read_sync(1).status.code());   // live reader
+  crash(0);  // the writer
+  out.codes.push_back(
+      client.write_sync(Value::from_string("c")).status.code());
+  return out;
+}
+
+TEST(ClientConformance, RegisterScriptMatchesAcrossSimAndThreads) {
+  auto group = make_sim_group();
+  const auto sim = run_register_script(
+      group.client(), [&group](ProcessId pid) { group.crash(pid); });
+
+  auto net = make_thread_net();
+  const auto threaded = run_register_script(
+      net->client(), [&net](ProcessId pid) { net->crash(pid); });
+
+  ASSERT_EQ(sim.codes.size(), threaded.codes.size());
+  EXPECT_EQ(sim.codes, threaded.codes);
+  EXPECT_EQ(sim.last_read_value, "b");
+  EXPECT_EQ(threaded.last_read_value, "b");
+  EXPECT_EQ(sim.last_read_version, 2);
+  EXPECT_EQ(threaded.last_read_version, 2);
+
+  const std::vector<StatusCode> expected{
+      StatusCode::kOk,      StatusCode::kOk,      StatusCode::kOk,
+      StatusCode::kCrashed, StatusCode::kOk,      StatusCode::kCrashed};
+  EXPECT_EQ(sim.codes, expected);
+}
+
+TEST(ClientConformance, RegisterBatchPipelinesThroughChains) {
+  // submit(span) on a register client serializes per process via the
+  // client chains: every op completes, read versions are monotonic along
+  // the reader's chain (writes and reads live on different processes, so
+  // there is no cross-chain order), and once everything is waited a fresh
+  // read observes the last write.
+  auto run = [](RegisterClient& client) {
+    std::array<RegisterOp, 6> ops;
+    for (int k = 0; k < 3; ++k) {
+      ops[2 * k].kind = OpKind::kWrite;
+      ops[2 * k].value = Value::from_int64(k + 1);
+      ops[2 * k + 1].kind = OpKind::kRead;
+      ops[2 * k + 1].reader = 1;
+    }
+    std::array<Ticket, 6> tickets;
+    EXPECT_EQ(client.submit(ops, tickets.data()), 6u);
+    SeqNo last_version = -1;
+    for (int k = 0; k < 6; ++k) {
+      const OpResult r = client.wait(tickets[k]);
+      EXPECT_TRUE(r.status.ok()) << r.status.message();
+      if (k % 2 == 1) {
+        EXPECT_GE(r.version, last_version);
+        last_version = r.version;
+      }
+    }
+    const OpResult after = client.read_sync(2);
+    EXPECT_TRUE(after.status.ok());
+    EXPECT_EQ(after.version, 3) << "all three writes completed before this";
+    EXPECT_EQ(after.value.to_int64(), 3);
+  };
+  auto group = make_sim_group();
+  run(group.client());
+  auto net = make_thread_net();
+  run(net->client());
+}
+
+TEST(ClientConformance, CallbackModeAutoRecyclesAndReportsStatus) {
+  auto run = [](RegisterClient& client, auto drive) {
+    int completions = 0;
+    StatusCode seen = StatusCode::kOk;
+    const Ticket t = client.write(Value::from_string("cb"),
+                                  [&](const OpResult& r) {
+                                    ++completions;
+                                    seen = r.status.code();
+                                  });
+    EXPECT_FALSE(t.valid()) << "callback mode returns an empty ticket";
+    drive();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(seen, StatusCode::kOk);
+  };
+  auto group = make_sim_group();
+  run(group.client(), [&group] { group.settle(); });
+  auto net = make_thread_net();
+  // Threaded: a blocking read on the same client orders after the write's
+  // completion on the writer chain? No — different processes. Use a
+  // follow-up write: chained behind the callback write on the writer.
+  run(net->client(), [&net] {
+    (void)net->client().write_sync(Value::from_string("fence"));
+  });
+}
+
+TEST(ClientConformance, ThreadedShutdownReportsShutdownStatus) {
+  auto net = make_thread_net();
+  (void)net->client().write_sync(Value::from_int64(1));
+  net->stop();
+  const OpResult w = net->client().write_sync(Value::from_int64(2));
+  EXPECT_EQ(w.status.code(), StatusCode::kShutdown);
+  const OpResult r = net->client().read_sync(1);
+  EXPECT_EQ(r.status.code(), StatusCode::kShutdown);
+}
+
+TEST(ClientConformance, ShardedShutdownReportsShutdownStatus) {
+  ShardedKvStore::Options opt;
+  opt.shards = 2;
+  opt.n = 3;
+  opt.t = 1;
+  ShardedKvStore store(std::move(opt));
+  EXPECT_TRUE(store.client().put_sync("k", Value::from_int64(1)).status.ok());
+  store.stop();
+  EXPECT_EQ(store.client().put_sync("k", Value::from_int64(2)).status.code(),
+            StatusCode::kShutdown);
+  EXPECT_EQ(store.client().get_sync("k").status.code(),
+            StatusCode::kShutdown);
+}
+
+// ---- the kv script across the flat and sharded stores ------------------------
+
+KvStore make_flat_store() {
+  KvStore::Options opt;
+  opt.n = 3;
+  opt.t = 1;
+  opt.slots = 8;
+  opt.initial = Value::from_string("unset");
+  return KvStore(std::move(opt));
+}
+
+std::unique_ptr<ShardedKvStore> make_sharded_store(std::size_t min_batch = 0) {
+  ShardedKvStore::Options opt;
+  opt.shards = 2;
+  opt.n = 3;
+  opt.t = 1;
+  opt.slots_per_shard = 8;
+  opt.initial = Value::from_string("unset");
+  opt.min_batch = min_batch;
+  opt.min_batch_wait = std::chrono::microseconds(200'000);
+  return std::make_unique<ShardedKvStore>(std::move(opt));
+}
+
+TEST(ClientConformance, KvHappyPathMatchesAcrossFlatAndSharded) {
+  // Keys hashing into one slot share that slot's register (per-slot
+  // histories, by design), so the never-written probe must live in a
+  // different slot than "alpha" on each store.
+  auto script = [](KvClient& client, std::string_view miss_key) {
+    std::vector<StatusCode> codes;
+    codes.push_back(
+        client.put_sync("alpha", Value::from_string("1")).status.code());
+    codes.push_back(
+        client.put_sync("alpha", Value::from_string("2")).status.code());
+    const OpResult g = client.get_sync("alpha");
+    codes.push_back(g.status.code());
+    EXPECT_EQ(g.value.to_string(), "2");
+    EXPECT_EQ(g.version, 2);
+    const OpResult miss = client.get_sync(miss_key);
+    codes.push_back(miss.status.code());
+    EXPECT_EQ(miss.value.to_string(), "unset");
+    EXPECT_EQ(miss.version, 0);
+    return codes;
+  };
+  auto pick_fresh = [](const std::function<bool(const std::string&)>& collides) {
+    for (int i = 0;; ++i) {
+      std::string candidate = "never-" + std::to_string(i);
+      if (!collides(candidate)) return candidate;
+    }
+  };
+
+  auto flat = make_flat_store();
+  const std::string flat_miss = pick_fresh([&flat](const std::string& k) {
+    return flat.slot_of(k) == flat.slot_of("alpha");
+  });
+  auto sharded = make_sharded_store();
+  const auto alpha_at = sharded->router().place("alpha");
+  const std::string sharded_miss =
+      pick_fresh([&sharded, &alpha_at](const std::string& k) {
+        const auto at = sharded->router().place(k);
+        return at.shard == alpha_at.shard && at.slot == alpha_at.slot;
+      });
+
+  const auto flat_codes = script(flat.client(), flat_miss);
+  const auto sharded_codes = script(sharded->client(), sharded_miss);
+  EXPECT_EQ(flat_codes, sharded_codes);
+  for (const StatusCode code : flat_codes) {
+    EXPECT_EQ(code, StatusCode::kOk);
+  }
+}
+
+TEST(ClientConformance, AbsorbedWritesMatchAcrossFlatAndSharded) {
+  // Three puts to one key submitted into a single window: last-write-wins
+  // coalescing absorbs the first two, everyone reports the surviving
+  // version, and a read observes only the survivor — identically on the
+  // flat store (deferred window) and the sharded store (min_batch window).
+  auto script = [](KvClient& client) {
+    std::array<Ticket, 3> tickets;
+    for (int k = 0; k < 3; ++k) {
+      tickets[k] =
+          client.put("hot", Value::from_string("v" + std::to_string(k)));
+    }
+    std::array<OpResult, 3> results;
+    for (int k = 0; k < 3; ++k) results[k] = client.wait(tickets[k]);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_TRUE(results[k].status.ok()) << results[k].status.message();
+      EXPECT_EQ(results[k].version, results[2].version)
+          << "a coalesced run lands as one protocol write";
+    }
+    EXPECT_TRUE(results[0].absorbed);
+    EXPECT_TRUE(results[1].absorbed);
+    EXPECT_FALSE(results[2].absorbed);
+    const OpResult g = client.get_sync("hot");
+    EXPECT_EQ(g.value.to_string(), "v2");
+  };
+  auto flat = make_flat_store();
+  script(flat.client());
+  auto sharded = make_sharded_store(/*min_batch=*/3);
+  script(sharded->client());
+}
+
+TEST(ClientConformance, CrashedHomeAndReaderMatchAcrossFlatAndSharded) {
+  auto script = [](KvClient& client, const std::function<void(ProcessId)>& crash_node,
+                   ProcessId home) {
+    std::vector<StatusCode> codes;
+    codes.push_back(
+        client.put_sync("key", Value::from_string("x")).status.code());
+    crash_node(home);
+    codes.push_back(
+        client.put_sync("key", Value::from_string("y")).status.code());
+    codes.push_back(client.get_sync("key", home).status.code());
+    codes.push_back(client.get_sync("key").status.code());  // rotates away
+    return codes;
+  };
+  const std::vector<StatusCode> expected{
+      StatusCode::kOk, StatusCode::kCrashed, StatusCode::kCrashed,
+      StatusCode::kOk};
+
+  auto flat = make_flat_store();
+  const ProcessId flat_home = flat.home_node("key");
+  EXPECT_EQ(script(flat.client(),
+                   [&flat](ProcessId pid) { flat.crash(pid); }, flat_home),
+            expected);
+
+  auto sharded = make_sharded_store();
+  const auto at = sharded->router().place("key");
+  EXPECT_EQ(script(sharded->client(),
+                   [&sharded, &at](ProcessId pid) {
+                     sharded->crash(at.shard, pid);
+                     sharded->drain();  // crash applies between windows
+                   },
+                   at.home),
+            expected);
+}
+
+TEST(ClientConformance, LivenessLossMatchesAcrossSimEngines) {
+  // Crash beyond the budget (t = 1, two crashes): the sim-backed engines
+  // all report kLivenessLost instead of hanging or aborting.
+  auto group = make_sim_group();
+  group.crash(1);
+  group.crash(2);
+  const OpResult reg = group.client().write_sync(Value::from_int64(9));
+  EXPECT_EQ(reg.status.code(), StatusCode::kLivenessLost);
+
+  auto flat = make_flat_store();
+  flat.crash(0);
+  flat.crash(1);
+  // Read at the surviving replica: no quorum can answer.
+  const OpResult kv = flat.client().get_sync("key", 2);
+  EXPECT_EQ(kv.status.code(), StatusCode::kLivenessLost);
+
+  auto sharded = make_sharded_store();
+  const auto at = sharded->router().place("key");
+  sharded->crash(at.shard, (at.home + 1) % 3);
+  sharded->crash(at.shard, (at.home + 2) % 3);
+  sharded->drain();
+  const OpResult sh = sharded->client().put_sync("key", Value::from_int64(1));
+  EXPECT_EQ(sh.status.code(), StatusCode::kLivenessLost);
+  // The shard latches: later ops fail fast with the same code.
+  const OpResult later = sharded->client().get_sync("key");
+  EXPECT_EQ(later.status.code(), StatusCode::kLivenessLost);
+}
+
+TEST(ClientConformance, TryResultPollsWithoutBlocking) {
+  auto group = make_sim_group();
+  RegisterClient& client = group.client();
+  const Ticket t = client.write(Value::from_int64(5));
+  OpResult out;
+  EXPECT_FALSE(client.try_result(t, out)) << "nothing driven yet";
+  group.settle();  // drive the simulator to completion
+  ASSERT_TRUE(client.try_result(t, out));
+  EXPECT_TRUE(out.status.ok());
+}
+
+}  // namespace
+}  // namespace tbr

@@ -127,6 +127,7 @@ int cmd_kv(FlagParser& flags) {
   opt.total_ops = static_cast<std::uint64_t>(flags.get_int("ops"));
   opt.client_threads = static_cast<std::uint32_t>(flags.get_int("clients"));
   opt.coalesce_writes = flags.get_bool("coalesce-writes");
+  opt.min_batch = static_cast<std::size_t>(flags.get_int("min-batch"));
   opt.pin_shard_threads = flags.get_bool("pin");
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
@@ -348,6 +349,9 @@ int real_main(int argc, char** argv) {
   flags.add_int("clients", 4, "client threads driving the engine (kv)");
   flags.add_bool("coalesce-writes", true,
                  "collapse queued same-slot writes last-write-wins (kv)");
+  flags.add_int("min-batch", 0,
+                "batching-window floor per shard worker, group-commit "
+                "style; 0 = drain whatever accumulated (kv)");
   flags.add_bool("pin", false, "pin shard workers to cores (kv)");
 
   if (!flags.parse(argc, argv)) {
