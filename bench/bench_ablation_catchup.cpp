@@ -43,7 +43,7 @@ AblationRow measure(std::uint32_t n, Tick slowdown_factor) {
   });
 
   for (int k = 1; k <= kWrites; ++k) {
-    group.write(Value::from_int64(k));
+    group.client().write_sync(Value::from_int64(k));
   }
   group.settle();
 

@@ -38,7 +38,7 @@ WindowRow measure(std::size_t window, Tick slow_factor) {
   };
   SimRegisterGroup group(std::move(gopt));
 
-  for (int k = 1; k <= kWrites; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= kWrites; ++k) group.client().write_sync(Value::from_int64(k));
 
   WindowRow row;
   bool read_done = false;

@@ -51,17 +51,17 @@ struct OpTraffic {
 
 inline OpTraffic measure_op_traffic(Algorithm algo, std::uint32_t n) {
   auto group = make_group(algo, n);
-  group.write(Value::from_int64(1));  // warm-up: everyone learns a value
+  group.client().write_sync(Value::from_int64(1));  // warm-up: everyone learns a value
   group.settle();
 
   OpTraffic out;
   auto before = group.net().stats().snapshot();
-  out.write_latency = group.write(Value::from_int64(2));
+  out.write_latency = group.client().write_sync(Value::from_int64(2)).latency;
   group.settle();
   out.write_msgs = group.net().stats().diff_since(before).total_sent();
 
   before = group.net().stats().snapshot();
-  const auto read = group.read(n - 1);
+  const auto read = group.client().read_sync(n - 1);
   group.settle();
   out.read_msgs = group.net().stats().diff_since(before).total_sent();
   out.read_latency = read.latency;

@@ -13,13 +13,12 @@
 //   2. sim closed loop   — whole-run events/sec and allocs/event for a
 //      closed-loop write/read mix (wall clock: reported, never gated).
 //   3. threaded runtime  — allocations per sent frame across a window of
-//      client operations on real threads, via the raw callback path and
-//      via the deprecated future wrappers (for comparison). Gated against
-//      the recorded pre-optimization baseline.
-//   4. ticket allocs/op  — the new convenience API: closed loops through
-//      RegisterClient (sim + threaded; gated == 0) and pipelined
-//      min-batch windows through the sharded store's KvClient (gated
-//      <= 1 alloc/op).
+//      client operations on real threads, via the raw callback path.
+//      Gated against the recorded pre-optimization baseline.
+//   4. ticket allocs/op  — the unified client API: closed loops through
+//      RegisterClient (sim + threaded, gated == 0; socket over loopback
+//      TCP, gated <= 1) and pipelined min-batch windows through the
+//      sharded store's KvClient (gated <= 1 alloc/op).
 //
 // Allocation counts come from the replaced global operator new
 // (bench/alloc_hooks) — deterministic for the sim measurements (fixed
@@ -41,6 +40,7 @@
 #include "kvstore/sharded_store.hpp"
 #include "sim/sim_network.hpp"
 #include "runtime/thread_network.hpp"
+#include "transport/socket_network.hpp"
 
 namespace tbr::bench {
 namespace {
@@ -57,6 +57,10 @@ constexpr double kThreadedCriterion = kPrePrThreadedAllocsPerFrame * 0.10;
 // allocation (the pre-redesign promise plumbing cost ~4 allocs/op in the
 // client alone, before the per-window planning allocations).
 constexpr double kShardedCriterion = 1.0;
+// The socket ticket acceptance: commands ride recycled vectors, frames a
+// consumed-offset ring, completions the pooled OpStates — the deleted
+// promise path allocated shared state + exception plumbing per op.
+constexpr double kSocketCriterion = 1.0;
 
 struct SimSteadyResult {
   std::uint64_t frames = 0;
@@ -91,14 +95,14 @@ struct SimLoopResult {
 
 SimLoopResult measure_sim_loop(std::uint32_t n, std::uint32_t ops) {
   auto group = make_group(Algorithm::kTwoBit, n);
-  group.write(Value::from_int64(0));
+  group.client().write_sync(Value::from_int64(0));
   group.settle();
 
   const alloc::Window w;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint32_t k = 0; k < ops; ++k) {
-    group.write(Value::from_int64(k));
-    group.read((k % (n - 1)) + 1);
+    group.client().write_sync(Value::from_int64(k));
+    group.client().read_sync((k % (n - 1)) + 1);
   }
   group.settle();
   const auto t1 = std::chrono::steady_clock::now();
@@ -180,17 +184,15 @@ class OpLatch {
   bool done_ = false;
 };
 
-enum class ThreadedApi { kCallbacks, kTickets, kFutures };
+enum class ThreadedApi { kCallbacks, kTickets };
 
-// Closed loop on the threaded runtime through one of its three client
-// surfaces. Callbacks are the raw fast path, tickets the new convenience
-// API (both gated), futures the deprecated promise-backed wrappers
-// (reported for comparison: their shared state is the per-op cost the
-// pooled path removes). The ticket window applies the same history-chunk
+// Closed loop on the threaded runtime through its two client surfaces.
+// Callbacks are the raw fast path, tickets the unified convenience API
+// (both gated). The ticket window applies the same history-chunk
 // discipline as measure_sim_tickets (writes are 1 op in 4; windows stay
 // inside the warmed chunk), so its == 0 criterion measures the client
-// path alone; the callback/futures windows keep the historical 50% write
-// mix and are gated against the per-frame reduction criterion instead.
+// path alone; the callback windows keep the historical 50% write mix and
+// are gated against the per-frame reduction criterion instead.
 ThreadedResult measure_threaded(std::uint32_t n, std::uint32_t window_ops,
                                 ThreadedApi api) {
   ThreadNetwork::Options opt;
@@ -209,13 +211,6 @@ ThreadedResult measure_threaded(std::uint32_t n, std::uint32_t window_ops,
     const bool is_write =
         api == ThreadedApi::kTickets ? k % 4 == 0 : k % 2 == 0;
     switch (api) {
-      case ThreadedApi::kFutures:
-        if (is_write) {
-          net.write(Value::from_int64(k)).get();
-        } else {
-          (void)net.read(reader).get();
-        }
-        return;
       case ThreadedApi::kTickets:
         if (is_write) {
           (void)client.write_sync(Value::from_int64(k));
@@ -265,6 +260,40 @@ ThreadedResult measure_threaded(std::uint32_t n, std::uint32_t window_ops,
   out.allocs = w.allocations();
   out.ops = window_ops;
   out.frames = net.stats_snapshot().diff_since(before).total_sent();
+  return out;
+}
+
+// Closed loop through the socket runtime's RegisterClient: loopback TCP,
+// one op in flight, completions resolved on the owning loop thread. The
+// same min-of-windows discipline as the threaded ticket gate (poll-loop
+// vectors, outbufs and the inbound rings reach their high-water marks
+// asynchronously across n loop threads); writes are 1 op in 4 so windows
+// stay inside the warmed history chunk.
+OpsResult measure_socket_tickets(std::uint32_t n, std::uint32_t window_ops) {
+  SocketNetwork::Options opt;
+  opt.cfg = make_cfg(n);
+  opt.algo = Algorithm::kTwoBit;
+  SocketNetwork net(std::move(opt));
+  net.start();
+  RegisterClient& client = net.client();
+  auto one_op = [&](std::uint32_t k) {
+    if (k % 4 == 0) {
+      (void)client.write_sync(Value::from_int64(k));
+    } else {
+      (void)client.read_sync((k % (n - 1)) + 1);
+    }
+  };
+  for (std::uint32_t k = 0; k < 256; ++k) one_op(k);  // warm rings/pools
+
+  OpsResult out;
+  out.ops = window_ops;
+  out.allocs = ~0ull;
+  for (int window = 0; window < 4; ++window) {
+    const alloc::Window w;
+    for (std::uint32_t k = 0; k < window_ops; ++k) one_op(k);
+    out.allocs = std::min(out.allocs, w.allocations());
+  }
+  net.stop();
   return out;
 }
 
@@ -333,8 +362,8 @@ int run() {
   // Fixed 32-op window: 8 writes stay inside the warmed history chunk
   // (see the function comment) — the == 0 gate measures the client path.
   const auto thr_tickets = measure_threaded(n, 32, ThreadedApi::kTickets);
-  const auto thr_futures =
-      measure_threaded(n, quick ? 64 : 256, ThreadedApi::kFutures);
+  // Same 32-op / 8-write window discipline on the socket runtime.
+  const auto sock_tickets = measure_socket_tickets(n, 32);
   const auto sharded = measure_sharded_kvclient(quick ? 8 : 32, 64);
 
   TextTable t({"measurement", "frames", "ops", "allocs", "allocs/frame",
@@ -364,11 +393,10 @@ int run() {
              std::to_string(thr_tickets.ops),
              std::to_string(thr_tickets.allocs), "-",
              format_double(per(thr_tickets.allocs, thr_tickets.ops), 3)});
-  t.add_row({"threaded window, futures (deprecated)",
-             std::to_string(thr_futures.frames),
-             std::to_string(thr_futures.ops),
-             std::to_string(thr_futures.allocs), "-",
-             format_double(per(thr_futures.allocs, thr_futures.ops), 3)});
+  t.add_row({"socket window, tickets (gated)", "-",
+             std::to_string(sock_tickets.ops),
+             std::to_string(sock_tickets.allocs), "-",
+             format_double(per(sock_tickets.allocs, sock_tickets.ops), 3)});
   t.add_row({"sharded kvclient, min-batch waves (gated)",
              std::to_string(sharded.frames), std::to_string(sharded.ops),
              std::to_string(sharded.allocs), "-",
@@ -385,6 +413,7 @@ int run() {
   const double thr_per_frame = per(threaded.allocs, threaded.frames);
   const double sim_ticket_per_op = per(sim_tickets.allocs, sim_tickets.ops);
   const double thr_ticket_per_op = per(thr_tickets.allocs, thr_tickets.ops);
+  const double sock_ticket_per_op = per(sock_tickets.allocs, sock_tickets.ops);
   const double sharded_per_op = per(sharded.allocs, sharded.ops);
   std::printf(
       "acceptance: sim steady-state allocs/frame = %.3f (criterion: == 0; "
@@ -401,12 +430,16 @@ int run() {
       "acceptance: ticket allocs/op (threaded) = %.3f (criterion: == 0)\n",
       thr_ticket_per_op);
   std::printf(
+      "acceptance: ticket allocs/op (socket) = %.3f (criterion: <= %.1f)\n",
+      sock_ticket_per_op, kSocketCriterion);
+  std::printf(
       "acceptance: kvclient allocs/op (sharded) = %.3f (criterion: <= "
       "%.1f)\n",
       sharded_per_op, kShardedCriterion);
 
   const bool ok = relay_allocs == 0 && thr_per_frame <= kThreadedCriterion &&
                   sim_tickets.allocs == 0 && thr_tickets.allocs == 0 &&
+                  sock_ticket_per_op <= kSocketCriterion &&
                   sharded_per_op <= kShardedCriterion;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

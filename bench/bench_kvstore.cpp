@@ -32,19 +32,19 @@ KvRow measure(std::uint32_t slots) {
 
   // Touch every slot once (worst-case memory: all shards populated).
   for (std::uint32_t s = 0; s < slots; ++s) {
-    store.put("warm-" + std::to_string(s * 131), Value::from_int64(1));
+    store.client().put_sync("warm-" + std::to_string(s * 131), Value::from_int64(1));
   }
   store.settle();
 
   KvRow row;
   auto before = store.net().stats().snapshot();
-  store.put("probe-key", Value::from_int64(42));
+  store.client().put_sync("probe-key", Value::from_int64(42));
   store.settle();
   auto diff = store.net().stats().diff_since(before);
   row.frames_per_put = diff.total_sent();
 
   before = store.net().stats().snapshot();
-  (void)store.get("probe-key", 1);
+  (void)store.client().get_sync("probe-key", 1);
   store.settle();
   diff = store.net().stats().diff_since(before);
   row.frames_per_get = diff.total_sent();

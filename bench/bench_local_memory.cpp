@@ -15,7 +15,7 @@ namespace {
 
 std::uint64_t memory_after(Algorithm algo, std::uint32_t n, int writes) {
   auto group = make_group(algo, n);
-  for (int k = 1; k <= writes; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= writes; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   return group.process(1).local_memory_bytes();
 }

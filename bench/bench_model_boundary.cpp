@@ -71,7 +71,7 @@ void run() {
     SimRegisterGroup::Options gopt;
     gopt.cfg = make_cfg(5);
     SimRegisterGroup group(std::move(gopt));
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     for (ProcessId pid = 4; pid > 4 - f; --pid) group.crash(pid);
     bool write_done = false;
     bool read_done = false;

@@ -13,8 +13,8 @@ namespace {
 
 std::uint64_t max_bits(Algorithm algo, std::uint32_t n, int writes) {
   auto group = make_group(algo, n);
-  for (int k = 1; k <= writes; ++k) group.write(Value::from_int64(k));
-  group.read(n - 1);
+  for (int k = 1; k <= writes; ++k) group.client().write_sync(Value::from_int64(k));
+  group.client().read_sync(n - 1);
   group.settle();
   return group.net().stats().max_control_bits_per_msg();
 }

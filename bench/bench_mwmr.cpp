@@ -72,7 +72,7 @@ void run() {
   {
     const auto t = measure_op_traffic(Algorithm::kTwoBit, 7);
     auto group = make_group(Algorithm::kTwoBit, 7);
-    for (int k = 1; k <= 4; ++k) group.write(Value::from_int64(k));
+    for (int k = 1; k <= 4; ++k) group.client().write_sync(Value::from_int64(k));
     group.settle();
     table.add_row({"twobit (paper)", "1",
                    format_delta_units(
@@ -86,7 +86,7 @@ void run() {
   {
     const auto t = measure_op_traffic(Algorithm::kAbdUnbounded, 7);
     auto group = make_group(Algorithm::kAbdUnbounded, 7);
-    for (int k = 1; k <= 4; ++k) group.write(Value::from_int64(k));
+    for (int k = 1; k <= 4; ++k) group.client().write_sync(Value::from_int64(k));
     group.settle();
     table.add_row({"abd swmr", "1",
                    format_delta_units(

@@ -74,8 +74,8 @@ LinkRow link_traffic(double loss_rate) {
   };
   SimRegisterGroup group(std::move(gopt));
   for (int k = 1; k <= 20; ++k) {
-    group.write(Value::from_int64(k));
-    (void)group.read(k % 5 == 0 ? 0 : static_cast<ProcessId>(k % 5));
+    group.client().write_sync(Value::from_int64(k));
+    (void)group.client().read_sync(k % 5 == 0 ? 0 : static_cast<ProcessId>(k % 5));
   }
   group.settle();
   LinkRow row;

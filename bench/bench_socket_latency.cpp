@@ -30,7 +30,7 @@ void BM_SocketWrite(benchmark::State& state) {
   net.start();
   std::int64_t k = 0;
   for (auto _ : state) {
-    net.write(Value::from_int64(++k)).get();
+    (void)net.client().write_sync(Value::from_int64(++k));
   }
   state.SetLabel(algorithm_name(algo) + " n=" + std::to_string(n));
   net.stop();
@@ -41,9 +41,9 @@ void BM_SocketRead(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(1));
   SocketNetwork net(make_options(algo, n));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  (void)net.client().write_sync(Value::from_int64(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.read(n - 1).get());
+    benchmark::DoNotOptimize(net.client().read_sync(n - 1));
   }
   state.SetLabel(algorithm_name(algo) + " n=" + std::to_string(n));
   net.stop();

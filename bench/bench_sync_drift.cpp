@@ -53,7 +53,7 @@ DriftSample measure(std::uint32_t n, std::uint64_t seed,
   });
   // Closed loop of writes from the writer; readers hammer reads.
   Rng rng(seed);
-  for (int k = 1; k <= 30; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 30; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   return sample;
 }

@@ -32,8 +32,8 @@ Column measure(Algorithm algo, std::uint32_t n, int writes) {
   col.traffic = measure_op_traffic(algo, n);
 
   auto group = make_group(algo, n);
-  for (int k = 1; k <= writes; ++k) group.write(Value::from_int64(k));
-  group.read(n - 1);
+  for (int k = 1; k <= writes; ++k) group.client().write_sync(Value::from_int64(k));
+  group.client().read_sync(n - 1);
   group.settle();
   col.max_msg_control_bits = group.net().stats().max_control_bits_per_msg();
   col.local_memory_bytes = group.process(1).local_memory_bytes();

@@ -27,7 +27,7 @@ void BM_Write(benchmark::State& state, Algorithm algo) {
   net.start();
   std::int64_t k = 0;
   for (auto _ : state) {
-    net.write(Value::from_int64(++k)).get();
+    (void)net.client().write_sync(Value::from_int64(++k));
   }
   state.SetItemsProcessed(state.iterations());
   net.stop();
@@ -37,9 +37,9 @@ void BM_Read(benchmark::State& state, Algorithm algo) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   ThreadNetwork net(net_options(algo, n));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  (void)net.client().write_sync(Value::from_int64(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.read(n - 1).get());
+    benchmark::DoNotOptimize(net.client().read_sync(n - 1));
   }
   state.SetItemsProcessed(state.iterations());
   net.stop();

@@ -13,7 +13,7 @@ Tick worst_read_latency(Algorithm algo, std::uint32_t n) {
   Tick worst = 0;
   for (Tick offset = 0; offset <= 2 * kDelta; offset += kDelta / 8) {
     auto group = make_group(algo, n);
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     Tick latency = 0;
     bool done = false;

@@ -28,10 +28,10 @@ int main() {
 
   // A little user database. Each put is an atomic register write executed
   // at the key's home replica inside its shard.
-  store.put("user:1/name", Value::from_string("ada"));
-  store.put("user:1/role", Value::from_string("engineer"));
-  store.put("user:2/name", Value::from_string("grace"));
-  store.put("user:1/role", Value::from_string("admiral"));  // overwrite
+  store.client().put_sync("user:1/name", Value::from_string("ada"));
+  store.client().put_sync("user:1/role", Value::from_string("engineer"));
+  store.client().put_sync("user:2/name", Value::from_string("grace"));
+  store.client().put_sync("user:1/role", Value::from_string("admiral"));  // overwrite
 
   std::cout << "-- placement (key -> shard/slot/home) --\n";
   for (const char* key : {"user:1/name", "user:1/role", "user:2/name"}) {
@@ -41,12 +41,12 @@ int main() {
   }
 
   std::cout << "\n-- reads (any replica; reads are quorum ops) --\n";
-  std::cout << "user:1/name: " << store.get("user:1/name").value.to_string()
+  std::cout << "user:1/name: " << store.client().get_sync("user:1/name").value.to_string()
             << "\n";
-  const auto role = store.get("user:1/role");
+  const auto role = store.client().get_sync("user:1/role");
   std::cout << "user:1/role: " << role.value.to_string() << " (version "
             << role.version << ")\n";
-  std::cout << "user:3/name: " << store.get("user:3/name").value.to_string()
+  std::cout << "user:3/name: " << store.client().get_sync("user:3/name").value.to_string()
             << " (never written)\n";
 
   // The batching window, via the unified client API: pooled ops issued
@@ -77,7 +77,7 @@ int main() {
   }
   std::cout << got << "/8 pipelined reads of user:2/name returned 'grace'\n";
   std::cout << "user:1/role now: "
-            << store.get("user:1/role").value.to_string() << "\n";
+            << store.client().get_sync("user:1/role").value.to_string() << "\n";
 
   // Crash a replica in one shard: that shard's keys homed there lose
   // their writer (SWMR placement is explicit about what fails); every key

@@ -36,7 +36,7 @@ int main() {
       const std::string config = "rev-" + std::to_string(rev);
       const auto id = history.begin_write(0, net.now(), rev,
                                           Value::from_string(config));
-      net.write(Value::from_string(config)).get();
+      net.client().write_sync(Value::from_string(config));
       history.end_write(id, net.now());
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
@@ -51,17 +51,14 @@ int main() {
       SeqNo last_seen = 0;
       while (!done.load()) {
         const auto id = history.begin_read(pid, net.now());
-        try {
-          const auto out = net.read(pid).get();
-          history.end_read(id, net.now(), out.value, out.index);
-          if (out.index < last_seen) {
-            std::cerr << "BUG: worker " << pid << " saw config go backwards!\n";
-          }
-          last_seen = out.index;
-          reads_seen[pid].fetch_add(1);
-        } catch (const std::runtime_error&) {
-          break;
+        const OpResult out = net.client().read_sync(pid);
+        if (!out.status.ok()) break;
+        history.end_read(id, net.now(), out.value, out.version);
+        if (out.version < last_seen) {
+          std::cerr << "BUG: worker " << pid << " saw config go backwards!\n";
         }
+        last_seen = out.version;
+        reads_seen[pid].fetch_add(1);
       }
     });
   }
@@ -76,7 +73,7 @@ int main() {
   workers.clear();
 
   for (ProcessId pid = 1; pid <= 3; ++pid) {
-    const auto out = net.read(pid).get();
+    const OpResult out = net.client().read_sync(pid);
     std::cout << "worker " << pid << " final config: " << out.value.to_string()
               << " (" << reads_seen[pid].load() << " polls)\n";
   }

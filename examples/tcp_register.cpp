@@ -2,7 +2,9 @@
 //
 // Five processes in this OS process, fully meshed over loopback TCP, each
 // with its own poll(2) event loop — the actual two-bit wire format in
-// length-prefixed frames on actual sockets. Client calls are futures.
+// length-prefixed frames on actual sockets. Client calls go through the
+// same unified RegisterClient as every other runtime: pooled tickets,
+// uniform Status outcomes, no promises.
 //
 //   build/examples/tcp_register
 #include <iostream>
@@ -22,20 +24,25 @@ int main() {
   net.start();
 
   // A write and reads from every replica, over the wire.
-  const Tick write_ns = net.write(Value::from_string("over TCP")).get();
-  std::cout << "write completed in " << write_ns / 1000 << " us\n";
+  RegisterClient& client = net.client();
+  const OpResult write = client.write_sync(Value::from_string("over TCP"));
+  std::cout << "write completed in " << write.latency / 1000 << " us\n";
   for (ProcessId pid = 1; pid < 5; ++pid) {
-    const auto out = net.read(pid).get();
+    const OpResult out = client.read_sync(pid);
     std::cout << "p" << pid << " read \"" << out.value.to_string()
               << "\" in " << out.latency / 1000 << " us\n";
   }
 
   // Crash a minority mid-flight; the group keeps serving.
   net.crash(4);
-  net.write(Value::from_string("two crashes later")).get();
+  client.write_sync(Value::from_string("two crashes later"));
   net.crash(3);
   std::cout << "after crashes, p1 reads \""
-            << net.read(1).get().value.to_string() << "\"\n";
+            << client.read_sync(1).value.to_string() << "\"\n";
+
+  // An op against a crashed replica is an outcome, not an exception.
+  const OpResult dead = client.read_sync(4);
+  std::cout << "reading at crashed p4: " << dead.status.message() << "\n";
 
   const auto stats = net.stats_snapshot();
   std::cout << "frames sent: " << stats.total_sent()

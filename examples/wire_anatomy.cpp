@@ -73,9 +73,9 @@ int main() {
   opt.delay = make_constant_delay(10);
   SimRegisterGroup group(std::move(opt));
 
-  group.write(Value::from_int64(100));  // value #1 -> WRITE1 everywhere
+  group.client().write_sync(Value::from_int64(100));  // value #1 -> WRITE1 everywhere
   group.settle();
-  group.write(Value::from_int64(200));  // value #2 -> WRITE0 (parity flip)
+  group.client().write_sync(Value::from_int64(200));  // value #2 -> WRITE0 (parity flip)
   group.settle();
 
   const auto& stats = group.net().stats();

@@ -66,7 +66,35 @@ void ClientBase::complete(OpState& st) {
     if (callback_mode) pool_.release_locked(st);
   }
   if (!callback_mode) pool_.mark_ready(st);
-  if (next != Ticket::kEmpty) engine_issue(pool_.slot(next));
+  if (next != Ticket::kEmpty) issue_chained(next);
+}
+
+void ClientBase::issue_chained(std::uint32_t first) {
+  {
+    const std::scoped_lock lock(pool_.mu());
+    deferred_issues_.push_back(first);
+    // Someone (an outer frame of this very cascade, or a concurrent
+    // completion thread) already owns the drain loop: it will pick this
+    // up. Returning here is what bounds the cascade's stack depth.
+    if (unwinding_) return;
+    unwinding_ = true;
+  }
+  for (;;) {
+    std::uint32_t index;
+    {
+      const std::scoped_lock lock(pool_.mu());
+      if (deferred_head_ == deferred_issues_.size()) {
+        deferred_issues_.clear();
+        deferred_head_ = 0;
+        unwinding_ = false;
+        return;
+      }
+      index = deferred_issues_[deferred_head_++];
+    }
+    // May complete synchronously (terminal engine paths), re-entering
+    // complete() -> issue_chained(), which defers to this loop.
+    engine_issue(pool_.slot(index));
+  }
 }
 
 OpResult ClientBase::wait(Ticket t) {

@@ -29,6 +29,7 @@
 // expose a lazily-built client() backed by their implementation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -87,6 +88,13 @@ class ClientBase {
   /// Returns the caller-facing ticket (empty in callback mode).
   Ticket dispatch(OpState& st);
 
+  /// Issue a chained successor without recursing: engines fail ops
+  /// synchronously on their terminal paths (crashed target, closed
+  /// queue), and that completion pops the NEXT chain entry — a deeply
+  /// pipelined chain unwinding at shutdown must drain as a loop, not as
+  /// mutual recursion complete() -> engine_issue() -> complete().
+  void issue_chained(std::uint32_t first);
+
   // Engine hooks, implemented by the concrete client over its engine.
   virtual void engine_issue(OpState& st) = 0;
   virtual void engine_park(OpState& st) = 0;
@@ -110,6 +118,14 @@ class ClientBase {
 
   bool serialize_per_node_ = false;
   std::vector<Chain> chains_;
+
+  // Chained-issue drain state (guarded by the pool mutex): one thread at
+  // a time owns the drain loop; completions landing mid-drain (including
+  // the synchronous-failure cascade) defer here instead of recursing.
+  // The vector recycles its capacity — steady state allocates nothing.
+  bool unwinding_ = false;
+  std::size_t deferred_head_ = 0;
+  std::vector<std::uint32_t> deferred_issues_;
 };
 
 // ---- the register-group client ----------------------------------------------
@@ -119,6 +135,28 @@ struct RegisterOp {
   OpKind kind = OpKind::kRead;
   Value value;                    ///< writes: payload (moved from)
   ProcessId reader = kAnyReplica; ///< reads: replica (kAnyReplica = rotate)
+};
+
+/// Round-robin live-replica rotation for kAnyReplica reads, shared by
+/// the engines' client_pick_reader implementations. Falls back to
+/// replica 0 when every replica looks crashed (the op then fails with
+/// kCrashed at issue). Safe from any thread; on the single-threaded sim
+/// engine the relaxed counter degenerates to a plain increment, so the
+/// rotation sequence stays deterministic.
+class ReaderRotor {
+ public:
+  template <typename CrashedFn>
+  ProcessId pick(std::uint32_t n, CrashedFn&& crashed) {
+    for (std::uint32_t tries = 0; tries < n; ++tries) {
+      const ProcessId r = static_cast<ProcessId>(
+          next_.fetch_add(1, std::memory_order_relaxed) % n);
+      if (!crashed(r)) return r;
+    }
+    return 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
 };
 
 /// What a runtime facade implements to host a RegisterClient.

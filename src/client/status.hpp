@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 
 namespace tbr {
 
@@ -39,11 +38,6 @@ class Status {
   constexpr StatusCode code() const noexcept { return code_; }
   /// Never null; "" on success, a static description otherwise.
   constexpr const char* message() const noexcept { return message_; }
-
-  /// The deprecated future/blocking wrappers' bridge back to exceptions.
-  void throw_if_error() const {
-    if (!ok()) throw std::runtime_error(message_);
-  }
 
   friend constexpr bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;

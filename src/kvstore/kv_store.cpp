@@ -202,20 +202,6 @@ MuxProcess& KvStore::mux_at(ProcessId node) {
   return net_->process_as<MuxProcess>(node);
 }
 
-void KvStore::put(std::string_view key, Value value) {
-  // Thin wrapper over client(): rides the same window machinery (so it
-  // serializes correctly behind any outstanding batch) and translates
-  // the Status back into the exception this API always threw.
-  client().put_sync(key, std::move(value)).status.throw_if_error();
-}
-
-KvStore::GetResult KvStore::get(std::string_view key, ProcessId reader) {
-  TBR_ENSURE(reader < n_, "reader out of range");
-  const OpResult r = client().get_sync(key, reader);
-  r.status.throw_if_error();
-  return GetResult{r.value, r.version, r.latency};
-}
-
 void KvStore::crash(ProcessId node) { net_->crash_now(node); }
 
 bool KvStore::crashed(ProcessId node) const { return net_->crashed(node); }

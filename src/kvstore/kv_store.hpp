@@ -61,20 +61,6 @@ class KvStore {
   /// drives the simulation. Lazily built; stable across store moves.
   KvClient& client();
 
-  // ---- key API (blocking; DEPRECATED: use client()) --------------------------
-  /// Store `value` under `key`. Executed at the key's home node (the
-  /// writer of its slot); throws std::runtime_error if that node crashed.
-  void put(std::string_view key, Value value);
-
-  struct GetResult {
-    Value value;
-    /// Slot-register version: 0 = initial value, k = k-th put to the slot.
-    SeqNo version = 0;
-    Tick latency = 0;
-  };
-  /// Read `key` at replica `reader` (any live node).
-  GetResult get(std::string_view key, ProcessId reader);
-
   // ---- placement ----------------------------------------------------------------
   std::uint32_t slot_of(std::string_view key) const;
   ProcessId home_node(std::string_view key) const;

@@ -2,7 +2,6 @@
 
 #include <condition_variable>
 #include <mutex>
-#include <stdexcept>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -203,57 +202,6 @@ ShardedKvStore::Shard& ShardedKvStore::shard_for(
     std::string_view key, ShardRouter::Placement& out) {
   out = router_.place(key);
   return *shards_[out.shard];
-}
-
-// ---- deprecated future/blocking wrappers -------------------------------------
-//
-// Thin adapters over client(): a callback-mode submission fulfilling a
-// promise (the promise shared state is exactly the per-op allocation the
-// pooled path removes). Errors come back as std::runtime_error built from
-// the op's Status, as before.
-
-std::future<ShardedKvStore::PutResult> ShardedKvStore::put_async(
-    std::string_view key, Value value) {
-  auto promise = std::make_shared<std::promise<PutResult>>();
-  auto future = promise->get_future();
-  client().put(key, std::move(value), [promise](const OpResult& r) {
-    if (r.status.ok()) {
-      promise->set_value(PutResult{r.version, r.absorbed});
-    } else {
-      promise->set_exception(
-          std::make_exception_ptr(std::runtime_error(r.status.message())));
-    }
-  });
-  return future;
-}
-
-std::future<ShardedKvStore::GetResult> ShardedKvStore::get_async(
-    std::string_view key, ProcessId reader) {
-  auto promise = std::make_shared<std::promise<GetResult>>();
-  auto future = promise->get_future();
-  client().get(key, reader, [promise](const OpResult& r) {
-    if (r.status.ok()) {
-      promise->set_value(GetResult{r.value, r.version});
-    } else {
-      promise->set_exception(
-          std::make_exception_ptr(std::runtime_error(r.status.message())));
-    }
-  });
-  return future;
-}
-
-ShardedKvStore::PutResult ShardedKvStore::put(std::string_view key,
-                                              Value value) {
-  const OpResult r = client().put_sync(key, std::move(value));
-  r.status.throw_if_error();
-  return PutResult{r.version, r.absorbed};
-}
-
-ShardedKvStore::GetResult ShardedKvStore::get(std::string_view key,
-                                              ProcessId reader) {
-  const OpResult r = client().get_sync(key, reader);
-  r.status.throw_if_error();
-  return GetResult{r.value, r.version};
 }
 
 void ShardedKvStore::crash(std::uint32_t shard, ProcessId node) {

@@ -19,10 +19,10 @@
 //     last-write-wins).
 //   * Clients use the unified client() API (src/client/client.hpp): pooled
 //     Ticket/callback completions resolved on the owning shard's worker,
-//     with uniform Status outcomes. Any thread may submit. The legacy
-//     promise-backed put_async/get_async futures remain as DEPRECATED
-//     wrappers over it (one release) — they cost ~4 allocations per op,
-//     the pooled path costs none beyond the window bookkeeping.
+//     with uniform Status outcomes. Any thread may submit. (The legacy
+//     promise-backed put_async/get_async futures cost ~4 allocations per
+//     op; they are gone — the pooled path costs none beyond the window
+//     bookkeeping.)
 //
 // Atomicity is untouched: every slot is still one paper register; batching
 // only chooses WHICH protocol operations to issue, never changes what a
@@ -31,7 +31,6 @@
 #pragma once
 
 #include <chrono>
-#include <future>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -83,16 +82,7 @@ class ShardedKvStore {
     MuxProcess::SlotFactory register_factory;  ///< default: two-bit
   };
 
-  struct PutResult {
-    SeqNo version = 0;      ///< slot-register version the put landed as
-    bool absorbed = false;  ///< true: coalesced into a later queued write
-  };
-  struct GetResult {
-    Value value;
-    SeqNo version = 0;  ///< 0 = initial value, k = k-th protocol write
-  };
-
-  /// Replica selector for get(): rotate over the shard's live-looking nodes.
+  /// Replica selector for gets: rotate over the shard's live-looking nodes.
   static constexpr ProcessId kAnyReplica = kNoProcess;
 
   explicit ShardedKvStore(Options options);
@@ -107,19 +97,6 @@ class ShardedKvStore {
   /// put results carry version/absorbed; steady state costs at most one
   /// allocation per op end to end (gated).
   KvClient& client() noexcept;
-
-  // ---- async API (any thread; DEPRECATED: use client()) ---------------------------
-  /// Store `value` under `key`; executes at the key's home replica inside
-  /// its shard's next batching window. The future throws if the home
-  /// replica crashed or the store shut down.
-  std::future<PutResult> put_async(std::string_view key, Value value);
-  /// Read `key` at replica `reader` of its shard (kAnyReplica = rotate).
-  std::future<GetResult> get_async(std::string_view key,
-                                   ProcessId reader = kAnyReplica);
-
-  // ---- blocking convenience (DEPRECATED: use client()) ----------------------------
-  PutResult put(std::string_view key, Value value);
-  GetResult get(std::string_view key, ProcessId reader = kAnyReplica);
 
   // ---- environment ---------------------------------------------------------------
   /// Crash replica `node` in shard `shard` (applied between batches).

@@ -149,12 +149,8 @@ class ThreadNetwork::ClientImpl final : public RegisterClientEngine {
   ProcessId client_writer() const override { return net_.cfg_.writer; }
 
   ProcessId client_pick_reader() override {
-    for (std::uint32_t tries = 0; tries < net_.cfg_.n; ++tries) {
-      const ProcessId r = static_cast<ProcessId>(
-          next_reader_.fetch_add(1, std::memory_order_relaxed) % net_.cfg_.n);
-      if (!net_.crashed(r)) return r;
-    }
-    return 0;
+    return rotor_.pick(net_.cfg_.n,
+                       [this](ProcessId r) { return net_.crashed(r); });
   }
 
   void client_issue(OpState& st) override {
@@ -193,7 +189,7 @@ class ThreadNetwork::ClientImpl final : public RegisterClientEngine {
 
  private:
   ThreadNetwork& net_;
-  std::atomic<std::uint32_t> next_reader_{0};
+  ReaderRotor rotor_;
   RegisterClient client_;
 };
 
@@ -387,35 +383,6 @@ void ThreadNetwork::read_async(ProcessId reader, ReadCallback done) {
   if (!hosts_[reader]->mailbox().push(std::move(env))) {
     env.done(ReadResultT{}, kShutdownStatus);
   }
-}
-
-std::future<Tick> ThreadNetwork::write(Value v) {
-  auto promise = std::make_shared<std::promise<Tick>>();
-  auto future = promise->get_future();
-  write_async(std::move(v), [promise](Tick latency, Status status) {
-    if (status.ok()) {
-      promise->set_value(latency);
-    } else {
-      promise->set_exception(
-          std::make_exception_ptr(std::runtime_error(status.message())));
-    }
-  });
-  return future;
-}
-
-std::future<ThreadNetwork::ReadResult> ThreadNetwork::read(ProcessId reader) {
-  auto promise = std::make_shared<std::promise<ReadResult>>();
-  auto future = promise->get_future();
-  read_async(reader,
-             [promise](const ReadResultT& result, Status status) {
-               if (status.ok()) {
-                 promise->set_value(result);
-               } else {
-                 promise->set_exception(std::make_exception_ptr(
-                     std::runtime_error(status.message())));
-               }
-             });
-  return future;
 }
 
 void ThreadNetwork::crash(ProcessId pid) {

@@ -18,13 +18,12 @@
 // it reaches steady-state zero allocations per operation in both shapes.
 // write_async/read_async are the raw callback path underneath it (callback
 // runs on the owning process's thread; do not block in it). The
-// future-based write()/read() wrappers are DEPRECATED (one release):
-// they allocate promise shared state per op — migrate to client().
+// promise-backed future wrappers this runtime once carried are gone —
+// client() is the one way in.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -85,15 +84,6 @@ class ThreadNetwork {
   /// Start a read at `reader`; `done(result, status)` runs on the reader's
   /// thread.
   void read_async(ProcessId reader, ReadCallback done);
-
-  // ---- future-based convenience API (DEPRECATED: use client()) -------------
-  /// Asynchronous write from the writer process; future resolves with the
-  /// operation latency (ns) or throws if the writer crashed.
-  std::future<Tick> write(Value v);
-
-  using ReadResult = ReadResultT;
-  /// Asynchronous read at `reader`.
-  std::future<ReadResult> read(ProcessId reader);
 
   /// Crash a process: it handles nothing after the marker is processed.
   void crash(ProcessId pid);

@@ -4,12 +4,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
-#include <deque>
 #include <utility>
-#include <variant>
 
 #include "common/contracts.hpp"
+#include "transport/frame_buffer.hpp"
 #include "transport/tcp_socket.hpp"
 
 namespace tbr {
@@ -17,26 +17,9 @@ namespace tbr {
 using Clock = std::chrono::steady_clock;
 
 namespace {
-
-// Length-prefixed framing on the byte stream.
-void append_frame(std::string& out, std::string_view encoded) {
-  const auto len = static_cast<std::uint32_t>(encoded.size());
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
-  }
-  out.append(encoded);
-}
-
-std::uint32_t peek_u32(const std::string& buf, std::size_t pos) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(
-             static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
-  return v;
-}
-
+constexpr Status kCrashedStatus{StatusCode::kCrashed, "process has crashed"};
+constexpr Status kShutdownStatus{StatusCode::kShutdown,
+                                 "network is shut down"};
 }  // namespace
 
 // ---- Node: one process, its sockets, its event loop -----------------------------
@@ -65,7 +48,7 @@ class SocketNetwork::Node final : public NetworkContext {
     // fresh string per send (the buffer-pool discipline of the threaded
     // runtime, ported to the socket path).
     proc_->codec().encode_into(msg, encode_scratch_);
-    append_frame(peer.outbuf, encode_scratch_);
+    FrameBuffer::append_frame(peer.outbuf, encode_scratch_);
     flush_out(to);
   }
   ProcessId self() const override { return pid_; }
@@ -101,21 +84,18 @@ class SocketNetwork::Node final : public NetworkContext {
   }
 
   // ---- commands (any thread) -------------------------------------------------------
-  struct WriteCmd {
-    Value value;
-    std::shared_ptr<std::promise<Tick>> done;
+  /// One marshaled request for this node's loop thread: a pooled client
+  /// operation, or (op == nullptr) a crash marker. Plain pointers — no
+  /// promises, no shared state, nothing to allocate per op.
+  struct Command {
+    OpState* op = nullptr;
   };
-  struct ReadCmd {
-    std::shared_ptr<std::promise<ReadResultT>> done;
-  };
-  struct CrashCmd {};
-  using Command = std::variant<WriteCmd, ReadCmd, CrashCmd>;
 
   bool submit(Command cmd) {
     {
       const std::scoped_lock lock(cmd_mu_);
       if (closed_) return false;
-      commands_.push_back(std::move(cmd));
+      commands_.push_back(cmd);
     }
     wake();
     return true;
@@ -168,14 +148,14 @@ class SocketNetwork::Node final : public NetworkContext {
         }
       }
     }
-    fail_pending("network is shut down");
+    fail_pending();
   }
 
  private:
   struct Peer {
     OwnedFd fd;
     bool alive = false;
-    std::string inbuf;
+    FrameBuffer inbuf;
     std::string outbuf;
   };
   struct Timer {
@@ -208,66 +188,67 @@ class SocketNetwork::Node final : public NetworkContext {
   }
 
   void run_commands() {
-    std::deque<Command> batch;
+    // Swap the queue against the recycled batch buffer: both vectors keep
+    // their high-water capacity, so steady-state command marshaling never
+    // allocates (the old std::deque dropped its chunk on every swap).
+    cmd_batch_.clear();
     {
       const std::scoped_lock lock(cmd_mu_);
-      batch.swap(commands_);
+      cmd_batch_.swap(commands_);
     }
-    for (Command& cmd : batch) {
-      std::visit([this](auto&& c) { handle(std::forward<decltype(c)>(c)); },
-                 std::move(cmd));
+    for (const Command& cmd : cmd_batch_) {
+      if (cmd.op != nullptr) {
+        handle_op(*cmd.op);
+      } else {
+        handle_crash();
+      }
     }
   }
 
-  void handle(WriteCmd cmd) {
+  // A client operation reaching its owning loop thread. The chains in
+  // RegisterClient serialize ops per process, so at most one is in flight
+  // here at a time; its identity parks in pending_op_ so the completion
+  // lambdas capture only `this` (std::function inline storage).
+  void handle_op(OpState& st) {
     if (crashed_) {
-      cmd.done->set_exception(std::make_exception_ptr(
-          std::runtime_error("process has crashed")));
+      st.owner->complete_failed(st, kCrashedStatus);
       return;
     }
-    const Tick start = net_.now();
-    auto done = std::move(cmd.done);
-    pending_write_ = done;
-    proc_->start_write(*this, std::move(cmd.value),
-                       [this, done, start]() mutable {
-                         pending_write_.reset();
-                         done->set_value(net_.now() - start);
-                       });
-  }
-
-  void handle(ReadCmd cmd) {
-    if (crashed_) {
-      cmd.done->set_exception(std::make_exception_ptr(
-          std::runtime_error("process has crashed")));
-      return;
+    TBR_ENSURE(pending_op_ == nullptr, "per-process op overlap");
+    st.start = net_.now();
+    pending_op_ = &st;
+    if (st.kind == OpKind::kWrite) {
+      proc_->start_write(*this, std::move(st.value), [this] {
+        OpState& op = *pending_op_;
+        pending_op_ = nullptr;
+        op.result.latency = net_.now() - op.start;
+        op.owner->complete(op);
+      });
+    } else {
+      proc_->start_read(*this, [this](const Value& v, SeqNo index) {
+        OpState& op = *pending_op_;
+        pending_op_ = nullptr;
+        op.result.value = v;  // copy into the pooled capacity
+        op.result.version = index;
+        op.result.latency = net_.now() - op.start;
+        op.owner->complete(op);
+      });
     }
-    const Tick start = net_.now();
-    auto done = std::move(cmd.done);
-    pending_read_ = done;
-    proc_->start_read(*this, [this, done, start](const Value& v,
-                                                 SeqNo index) mutable {
-      pending_read_.reset();
-      done->set_value(ReadResultT{v, index, net_.now() - start});
-    });
   }
 
-  void handle(CrashCmd) {
+  void handle_crash() {
     if (crashed_) return;
     crashed_ = true;
     crashed_flag_.store(true, std::memory_order_release);
     proc_->on_crash();
     // The model lets a faulty process's last operation evaporate (§2.2);
-    // its client's future must still resolve — fail it now, the algorithm
+    // its client must still learn the outcome — fail it now, the algorithm
     // will never complete it.
-    auto fail = [](auto& pending) {
-      if (pending) {
-        pending->set_exception(std::make_exception_ptr(
-            std::runtime_error("process has crashed")));
-        pending.reset();
-      }
-    };
-    fail(pending_write_);
-    fail(pending_read_);
+    if (pending_op_ != nullptr) {
+      OpState& op = *pending_op_;
+      pending_op_ = nullptr;
+      op.owner->complete_failed(op, kCrashedStatus);
+    }
     // A crash kills the endpoint: sockets close, peers see dead channels.
     for (Peer& peer : peers_) {
       peer.fd.reset();
@@ -281,7 +262,8 @@ class SocketNetwork::Node final : public NetworkContext {
   void read_peer(ProcessId p) {
     Peer& peer = peers_[p];
     for (;;) {
-      const auto io = tcp::read_some(peer.fd.get(), peer.inbuf, 64 * 1024);
+      const auto io = tcp::read_some(peer.fd.get(), peer.inbuf.tail(),
+                                     64 * 1024);
       if (io.status == IoStatus::kClosed) {
         peer.fd.reset();
         peer.alive = false;
@@ -297,21 +279,17 @@ class SocketNetwork::Node final : public NetworkContext {
 
   void dispatch_frames(ProcessId p) {
     Peer& peer = peers_[p];
-    std::size_t pos = 0;
     // A handler can tear this very buffer down mid-loop (crash command, or
     // a send to p that discovers the socket closed), so re-check liveness
-    // and use overflow-safe bounds each iteration.
-    while (!crashed_ && peer.alive && peer.inbuf.size() >= pos + 4) {
-      const std::uint32_t len = peek_u32(peer.inbuf, pos);
-      if (peer.inbuf.size() < pos + 4 + len) break;
+    // each iteration. The ring consumes each frame in O(frame): no
+    // erase(0, pos) memmove of the whole remainder per drain.
+    std::string_view frame;
+    while (!crashed_ && peer.alive && peer.inbuf.next_frame(frame)) {
       // decode_into the loop's scratch Message: large payloads reuse its
       // value buffer instead of materializing a fresh string per frame.
-      proc_->codec().decode_into(
-          std::string_view(peer.inbuf).substr(pos + 4, len), inbound_);
-      pos += 4 + len;
+      proc_->codec().decode_into(frame, inbound_);
       proc_->on_message(*this, p, inbound_);
     }
-    if (!crashed_ && peer.alive && pos > 0) peer.inbuf.erase(0, pos);
   }
 
   void flush_out(ProcessId p) {
@@ -333,17 +311,25 @@ class SocketNetwork::Node final : public NetworkContext {
     }
   }
 
-  void fail_pending(const char* why) {
-    std::deque<Command> rest;
+  /// Loop exit: every accepted-but-unresolved operation completes with
+  /// kShutdown — the in-protocol one first, then the still-queued ones —
+  /// and later submissions bounce at submit().
+  void fail_pending() {
+    if (pending_op_ != nullptr) {
+      OpState& op = *pending_op_;
+      pending_op_ = nullptr;
+      op.owner->complete_failed(op, kShutdownStatus);
+    }
+    std::vector<Command> rest;
     {
       const std::scoped_lock lock(cmd_mu_);
       closed_ = true;
       rest.swap(commands_);
     }
-    for (Command& cmd : rest) {
-      auto ex = std::make_exception_ptr(std::runtime_error(why));
-      if (auto* w = std::get_if<WriteCmd>(&cmd)) w->done->set_exception(ex);
-      if (auto* r = std::get_if<ReadCmd>(&cmd)) r->done->set_exception(ex);
+    for (const Command& cmd : rest) {
+      if (cmd.op != nullptr) {
+        cmd.op->owner->complete_failed(*cmd.op, kShutdownStatus);
+      }
     }
   }
 
@@ -357,17 +343,56 @@ class SocketNetwork::Node final : public NetworkContext {
   OwnedFd wake_rd_, wake_wr_;
 
   std::mutex cmd_mu_;
-  std::deque<Command> commands_;
+  std::vector<Command> commands_;
+  std::vector<Command> cmd_batch_;  ///< recycled drain buffer (loop thread)
   bool closed_ = false;
 
   std::vector<Timer> timers_;  // min-heap
   std::uint64_t timer_seq_ = 0;
   bool crashed_ = false;                    // loop thread's view
   std::atomic<bool> crashed_flag_{false};   // external observers
-  // In-flight client operation promises (loop thread only): resolved by
-  // the completion callback or failed by a crash, whichever comes first.
-  std::shared_ptr<std::promise<Tick>> pending_write_;
-  std::shared_ptr<std::promise<ReadResultT>> pending_read_;
+  /// The in-flight client operation (loop thread only): resolved by the
+  /// protocol's completion callback, or failed by a crash marker or the
+  /// shutdown path, whichever comes first.
+  OpState* pending_op_ = nullptr;
+};
+
+// ---- ClientImpl: the unified client API over this runtime -------------------
+//
+// Issue = submit a Command carrying the OpState pointer to the target
+// node's loop thread (which resolves it with a uniform Status); park =
+// block on the client pool's condition variable. Completion is guaranteed:
+// the loop's crash and shutdown paths fail every accepted command.
+
+class SocketNetwork::ClientImpl final : public RegisterClientEngine {
+ public:
+  explicit ClientImpl(SocketNetwork& net) : net_(net), client_(*this) {}
+
+  std::uint32_t client_nodes() const override { return net_.cfg_.n; }
+  ProcessId client_writer() const override { return net_.cfg_.writer; }
+
+  ProcessId client_pick_reader() override {
+    return rotor_.pick(net_.cfg_.n,
+                       [this](ProcessId r) { return net_.crashed(r); });
+  }
+
+  void client_issue(OpState& st) override {
+    TBR_ENSURE(net_.started_, "start() the network first");
+    if (!net_.nodes_[st.node]->submit(Node::Command{&st})) {
+      st.owner->complete_failed(st, kShutdownStatus);
+    }
+  }
+
+  void client_park(OpState& st, OpPool& pool) override {
+    pool.block_until_ready(st);
+  }
+
+  RegisterClient& client() noexcept { return client_; }
+
+ private:
+  SocketNetwork& net_;
+  ReaderRotor rotor_;
+  RegisterClient client_;
 };
 
 // ---- SocketNetwork ------------------------------------------------------------------
@@ -383,9 +408,14 @@ SocketNetwork::SocketNetwork(Options options)
                     : make_register_process(opt_.algo, cfg_, pid);
     nodes_.push_back(std::make_unique<Node>(*this, pid, std::move(proc)));
   }
+  client_impl_ = std::make_unique<ClientImpl>(*this);
 }
 
 SocketNetwork::~SocketNetwork() { stop(); }
+
+RegisterClient& SocketNetwork::client() noexcept {
+  return client_impl_->client();
+}
 
 Tick SocketNetwork::now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -438,33 +468,9 @@ void SocketNetwork::stop() {
   threads_.clear();  // jthread joins on destruction
 }
 
-std::future<Tick> SocketNetwork::write(Value v) {
-  TBR_ENSURE(started_, "start() the network first");
-  auto promise = std::make_shared<std::promise<Tick>>();
-  auto future = promise->get_future();
-  if (!nodes_[cfg_.writer]->submit(
-          Node::WriteCmd{std::move(v), promise})) {
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("network is shut down")));
-  }
-  return future;
-}
-
-std::future<SocketNetwork::ReadResult> SocketNetwork::read(ProcessId reader) {
-  TBR_ENSURE(started_, "start() the network first");
-  TBR_ENSURE(reader < cfg_.n, "reader id out of range");
-  auto promise = std::make_shared<std::promise<ReadResult>>();
-  auto future = promise->get_future();
-  if (!nodes_[reader]->submit(Node::ReadCmd{promise})) {
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("network is shut down")));
-  }
-  return future;
-}
-
 void SocketNetwork::crash(ProcessId pid) {
   TBR_ENSURE(pid < cfg_.n, "pid out of range");
-  nodes_[pid]->submit(Node::CrashCmd{});
+  nodes_[pid]->submit(Node::Command{nullptr});
 }
 
 bool SocketNetwork::crashed(ProcessId pid) const {

@@ -16,20 +16,28 @@
 // model's "a crash stops the process, not its delivered packets".
 //
 // Threading: each process's handlers run only on its own loop thread (the
-// model's processes are sequential). Client calls marshal operations onto
-// the loop thread through a command queue + wakeup pipe and resolve
-// futures. Timers (NetworkContext::schedule) run on the loop thread too.
+// model's processes are sequential). Client operations marshal onto the
+// loop thread through a recycled command queue + wakeup pipe and complete
+// there. Timers (NetworkContext::schedule) run on the loop thread too.
+//
+// Client API: client() exposes the same unified RegisterClient as every
+// other engine (pooled Ticket/callback completions, uniform Status — see
+// src/client/client.hpp): issue enqueues a command to the owning loop
+// thread, park blocks on the client pool's condition variable, and the
+// loop thread resolves the op (kCrashed after a crash marker, kShutdown
+// once the network stops). Inbound bytes ride a consumed-offset ring
+// (FrameBuffer), so draining a frame is O(frame), not O(buffer); a
+// steady-state ticket round-trip stays allocation-free.
 #pragma once
 
-#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "client/client.hpp"
 #include "metrics/message_stats.hpp"
 #include "net/register_process.hpp"
-#include "runtime/mailbox.hpp"  // ReadResultT
 #include "workload/algorithms.hpp"
 
 namespace tbr {
@@ -56,12 +64,11 @@ class SocketNetwork {
   /// Stop loops, close sockets, reject further work. Idempotent.
   void stop();
 
-  /// Asynchronous write from the writer process; resolves with latency
-  /// (ns) or throws if the writer crashed / network stopped.
-  std::future<Tick> write(Value v);
-
-  using ReadResult = ReadResultT;
-  std::future<ReadResult> read(ProcessId reader);
+  /// The unified client API (src/client/client.hpp): pooled Ticket and
+  /// callback completions with uniform Status outcomes. Safe from any
+  /// thread; completions run on the owning process's loop thread. Steady
+  /// state: zero allocations per operation.
+  RegisterClient& client() noexcept;
 
   /// Crash a process: its loop closes every socket and ignores the rest.
   void crash(ProcessId pid);
@@ -73,10 +80,12 @@ class SocketNetwork {
 
  private:
   class Node;
+  class ClientImpl;
 
   GroupConfig cfg_;
   Options opt_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<ClientImpl> client_impl_;  // engine + RegisterClient
 
   mutable std::mutex stats_mu_;
   MessageStats stats_;

@@ -41,22 +41,21 @@ SocketWorkloadResult run_socket_workload(
     clients.reserve(cfg.n + 1);
     for (ProcessId pid = 0; pid < cfg.n; ++pid) {
       clients.emplace_back([&, pid] {
+        RegisterClient& client = net.client();
         Rng rng(options.seed ^ (0xB5297A4DULL * (pid + 1)));
         for (std::uint32_t k = 0; k < options.ops_per_process; ++k) {
-          try {
-            if (pid == cfg.writer) {
-              const SeqNo index = static_cast<SeqNo>(k) + 1;
-              Value v = Value::from_int64(index);
-              const auto id = log.begin_write(pid, net.now(), index, v);
-              net.write(std::move(v)).get();
-              log.end_write(id, net.now());
-            } else {
-              const auto id = log.begin_read(pid, net.now());
-              auto result = net.read(pid).get();
-              log.end_read(id, net.now(), result.value, result.index);
-            }
-          } catch (const std::runtime_error&) {
-            break;  // our process crashed mid-operation
+          if (pid == cfg.writer) {
+            const SeqNo index = static_cast<SeqNo>(k) + 1;
+            Value v = Value::from_int64(index);
+            const auto id = log.begin_write(pid, net.now(), index, v);
+            const OpResult r = client.write_sync(std::move(v));
+            if (!r.status.ok()) break;  // our process crashed mid-operation
+            log.end_write(id, net.now());
+          } else {
+            const auto id = log.begin_read(pid, net.now());
+            const OpResult r = client.read_sync(pid);
+            if (!r.status.ok()) break;
+            log.end_read(id, net.now(), r.value, r.version);
           }
           completed[pid].fetch_add(1, std::memory_order_relaxed);
           const auto think = rng.uniform(0, 150);

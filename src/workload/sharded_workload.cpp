@@ -204,6 +204,7 @@ CapacityProjection project_sharded_capacity(
   CapacityProjection projection;
   projection.ops = ops.size();
   projection.shard_ticks.assign(options.shards, 0);
+  double latency_sum = 0.0;
 
   for (std::uint32_t s = 0; s < options.shards; ++s) {
     const auto& shard_ops = per_shard[s];
@@ -226,8 +227,15 @@ CapacityProjection project_sharded_capacity(
     while (next < shard_ops.size()) {
       // The batching window: everything that has arrived by the time the
       // previous window finished (bounded by max_batch), or — if the shard
-      // is idle — the next op alone at its arrival instant.
-      const Tick start = std::max(net.now(), shard_ops[next].arrival);
+      // is idle — the next op alone at its arrival instant. A min_batch
+      // floor (group commit) holds the window open until enough ops have
+      // arrived; the tail of the trace opens partial so the run drains.
+      Tick start = std::max(net.now(), shard_ops[next].arrival);
+      if (options.min_batch > 1) {
+        const std::size_t want =
+            std::min(options.min_batch, shard_ops.size() - next);
+        start = std::max(start, shard_ops[next + want - 1].arrival);
+      }
       std::size_t end = next;
       while (end < shard_ops.size() && shard_ops[end].arrival <= start &&
              (options.max_batch == 0 ||
@@ -270,11 +278,20 @@ CapacityProjection project_sharded_capacity(
       const bool ok = net.run_until(
           [outstanding] { return *outstanding == 0; });
       TBR_ENSURE(ok, "capacity projection lost liveness (bug)");
+      // Client-observed latency: the whole window completes together, so
+      // every op in it waited from its arrival to the window's finish.
+      for (std::size_t k = next; k < end; ++k) {
+        latency_sum +=
+            static_cast<double>(net.now() - shard_ops[k].arrival);
+      }
       next = end;
     }
     projection.shard_ticks[s] = net.now();
     projection.frames += net.stats().total_sent();
   }
+  projection.mean_latency_ticks =
+      projection.ops > 0 ? latency_sum / static_cast<double>(projection.ops)
+                         : 0.0;
 
   projection.busiest_shard_ticks = *std::max_element(
       projection.shard_ticks.begin(), projection.shard_ticks.end());

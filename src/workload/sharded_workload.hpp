@@ -52,8 +52,11 @@ struct ShardedWorkloadOptions {
   /// Batching-window cap (ops). In the projection this bounds how much a
   /// backlog can amortize; 0 = unbounded.
   std::size_t max_batch = 256;
-  /// Batching-window floor for the live engine (group-commit style; see
-  /// ShardedKvStore::Options::min_batch). 0 = drain whatever accumulated.
+  /// Batching-window floor (group-commit style; see ShardedKvStore::
+  /// Options::min_batch). 0 = drain whatever accumulated. In the
+  /// projection this delays a window until `min_batch` ops have arrived
+  /// (the tail opens partial), trading per-op latency for coalescing —
+  /// the sweep in bench_sharded_throughput measures that trade.
   std::size_t min_batch = 0;
 
   // ---- projection mode ------------------------------------------------------
@@ -82,6 +85,9 @@ struct CapacityProjection {
   std::vector<Tick> shard_ticks;    ///< virtual completion time per shard
   Tick busiest_shard_ticks = 0;     ///< the store's completion time
   double ops_per_mtick = 0;         ///< ops / busiest shard's megatick
+  /// Mean client-observed latency in virtual ticks: window completion
+  /// minus op arrival (queueing + batching delay + protocol rounds).
+  double mean_latency_ticks = 0;
   BatchStats batch;
   std::uint64_t frames = 0;
 };

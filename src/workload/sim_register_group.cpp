@@ -21,12 +21,8 @@ class SimRegisterGroup::ClientImpl final : public RegisterClientEngine {
   ProcessId client_writer() const override { return cfg_.writer; }
 
   ProcessId client_pick_reader() override {
-    for (std::uint32_t tries = 0; tries < cfg_.n; ++tries) {
-      const ProcessId r = next_reader_;
-      next_reader_ = (next_reader_ + 1) % cfg_.n;
-      if (!net_->crashed(r)) return r;
-    }
-    return 0;
+    return rotor_.pick(cfg_.n,
+                       [this](ProcessId r) { return net_->crashed(r); });
   }
 
   void client_issue(OpState& st) override {
@@ -72,7 +68,7 @@ class SimRegisterGroup::ClientImpl final : public RegisterClientEngine {
  private:
   SimNetwork* net_;
   GroupConfig cfg_;
-  ProcessId next_reader_ = 0;
+  ReaderRotor rotor_;
   RegisterClient client_;
 };
 
@@ -126,30 +122,6 @@ void SimRegisterGroup::begin_read(
   TBR_ENSURE(!net_->crashed(reader), "reader has crashed");
   auto& proc = process(reader);
   proc.start_read(net_->context(reader), std::move(done));
-}
-
-Tick SimRegisterGroup::write(Value v) {
-  const Tick start = net_->now();
-  bool finished = false;
-  begin_write(std::move(v), [&finished] { finished = true; });
-  const bool ok = net_->run_until([&finished] { return finished; });
-  TBR_ENSURE(ok, "write did not complete (crashed quorum or stuck run?)");
-  return net_->now() - start;
-}
-
-SimRegisterGroup::ReadOutcome SimRegisterGroup::read(ProcessId reader) {
-  const Tick start = net_->now();
-  ReadOutcome out;
-  bool finished = false;
-  begin_read(reader, [&](const Value& v, SeqNo idx) {
-    out.value = v;
-    out.index = idx;
-    finished = true;
-  });
-  const bool ok = net_->run_until([&finished] { return finished; });
-  TBR_ENSURE(ok, "read did not complete (crashed quorum or stuck run?)");
-  out.latency = net_->now() - start;
-  return out;
 }
 
 void SimRegisterGroup::settle() {

@@ -1,8 +1,9 @@
 // SimRegisterGroup: a ready-to-use register over the simulated network.
 //
-// The blocking write()/read() calls drive the simulator until the operation
-// completes (the quickstart-level API); begin_* plus run_until gives full
-// control for overlapping operations, crash scheduling and latency sweeps.
+// client() is the quickstart-level API: write_sync/read_sync drive the
+// simulator until the operation completes and report a uniform Status;
+// begin_* plus run_until gives full control for overlapping operations,
+// crash scheduling and latency sweeps.
 #pragma once
 
 #include <functional>
@@ -52,19 +53,6 @@ class SimRegisterGroup {
   /// with a non-ok Status instead of throwing. Steady state: zero
   /// allocations per operation. Lazily built; stable across group moves.
   RegisterClient& client();
-
-  // ---- blocking API ----------------------------------------------------------
-  /// Write from the configured writer; returns the operation latency in
-  /// virtual ticks. Throws if the simulation cannot complete the write.
-  Tick write(Value v);
-
-  struct ReadOutcome {
-    Value value;
-    SeqNo index = -1;
-    Tick latency = 0;
-  };
-  /// Read at process `reader` (blocking), with latency.
-  ReadOutcome read(ProcessId reader);
 
   /// Let all in-flight protocol traffic drain (e.g. to reach the steady
   /// state in which every process knows every value before a measurement).

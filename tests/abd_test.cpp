@@ -30,50 +30,50 @@ class BaselineFunctional : public testing::TestWithParam<Algorithm> {};
 TEST_P(BaselineFunctional, InitialValueReadable) {
   auto group = make_group(GetParam(), 5, 2);
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = group.read(pid);
+    const auto out = group.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 0);
-    EXPECT_EQ(out.index, 0);
+    EXPECT_EQ(out.version, 0);
   }
 }
 
 TEST_P(BaselineFunctional, WriteThenReadEverywhere) {
   auto group = make_group(GetParam(), 5, 2);
-  group.write(Value::from_int64(31));
+  group.client().write_sync(Value::from_int64(31));
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = group.read(pid);
+    const auto out = group.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 31);
-    EXPECT_EQ(out.index, 1);
+    EXPECT_EQ(out.version, 1);
   }
 }
 
 TEST_P(BaselineFunctional, SequenceOfWrites) {
   auto group = make_group(GetParam(), 3, 1);
   for (int k = 1; k <= 12; ++k) {
-    group.write(Value::from_int64(k * 7));
-    EXPECT_EQ(group.read(static_cast<ProcessId>(k % 3)).value.to_int64(),
+    group.client().write_sync(Value::from_int64(k * 7));
+    EXPECT_EQ(group.client().read_sync(static_cast<ProcessId>(k % 3)).value.to_int64(),
               k * 7);
   }
 }
 
 TEST_P(BaselineFunctional, SurvivesMinorityCrash) {
   auto group = make_group(GetParam(), 5, 2);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.crash(3);
   group.crash(4);
-  group.write(Value::from_int64(2));
-  EXPECT_EQ(group.read(1).value.to_int64(), 2);
+  group.client().write_sync(Value::from_int64(2));
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 2);
 }
 
 TEST_P(BaselineFunctional, WriterCanRead) {
   auto group = make_group(GetParam(), 3, 1);
-  group.write(Value::from_int64(5));
-  EXPECT_EQ(group.read(0).value.to_int64(), 5);
+  group.client().write_sync(Value::from_int64(5));
+  EXPECT_EQ(group.client().read_sync(0).value.to_int64(), 5);
 }
 
 TEST_P(BaselineFunctional, SingleProcessGroup) {
   auto group = make_group(GetParam(), 1, 0);
-  group.write(Value::from_int64(3));
-  EXPECT_EQ(group.read(0).value.to_int64(), 3);
+  group.client().write_sync(Value::from_int64(3));
+  EXPECT_EQ(group.client().read_sync(0).value.to_int64(), 3);
 }
 
 TEST_P(BaselineFunctional, RejectsWriteFromNonWriter) {
@@ -109,10 +109,10 @@ class BaselineTiming : public testing::TestWithParam<TimingRow> {};
 TEST_P(BaselineTiming, PhaseTimingMatchesTable1) {
   const auto& row = GetParam();
   auto group = make_group(row.algo, 5, 2);
-  const Tick w = group.write(Value::from_int64(1));
+  const Tick w = group.client().write_sync(Value::from_int64(1)).latency;
   EXPECT_EQ(w, row.write_deltas * kDelta);
   group.settle();
-  const auto r = group.read(3);
+  const auto r = group.client().read_sync(3);
   EXPECT_EQ(r.latency, row.read_deltas * kDelta);
 }
 
@@ -135,7 +135,7 @@ TEST(BaselineMessages, AbdUnboundedWriteIsLinear) {
   for (const std::uint32_t n : {3u, 5u, 9u}) {
     auto group = make_group(Algorithm::kAbdUnbounded, n, (n - 1) / 2);
     const auto before = group.net().stats().snapshot();
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     const auto delta = group.net().stats().diff_since(before);
     // 1 phase: n-1 requests + n-1 acks.
@@ -146,10 +146,10 @@ TEST(BaselineMessages, AbdUnboundedWriteIsLinear) {
 TEST(BaselineMessages, AbdUnboundedReadIsLinear) {
   for (const std::uint32_t n : {3u, 5u, 9u}) {
     auto group = make_group(Algorithm::kAbdUnbounded, n, (n - 1) / 2);
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     const auto before = group.net().stats().snapshot();
-    group.read(n - 1);
+    group.client().read_sync(n - 1);
     group.settle();
     const auto delta = group.net().stats().diff_since(before);
     // 2 phases: query + write-back.
@@ -161,7 +161,7 @@ TEST(BaselineMessages, AbdBoundedOpsAreQuadratic) {
   for (const std::uint32_t n : {3u, 5u, 9u}) {
     auto group = make_group(Algorithm::kAbdBounded, n, (n - 1) / 2);
     const auto before = group.net().stats().snapshot();
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     const auto delta = group.net().stats().diff_since(before);
     // 6 phases x [ (n-1) req + (n-1) ack + (n-1)(n-2) echo ].
@@ -175,13 +175,13 @@ TEST(BaselineMessages, AttiyaOpsAreLinearDespiteManyPhases) {
   const std::uint32_t n = 7;
   auto group = make_group(Algorithm::kAttiya, n, 3);
   const auto before = group.net().stats().snapshot();
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto wdelta = group.net().stats().diff_since(before);
   EXPECT_EQ(wdelta.total_sent(), 7ull * 2 * (n - 1));  // 7 phases, no echo
 
   const auto before_r = group.net().stats().snapshot();
-  group.read(3);
+  group.client().read_sync(3);
   group.settle();
   const auto rdelta = group.net().stats().diff_since(before_r);
   EXPECT_EQ(rdelta.total_sent(), 9ull * 2 * (n - 1));  // 9 phases
@@ -192,13 +192,13 @@ TEST(BaselineMessages, AttiyaOpsAreLinearDespiteManyPhases) {
 TEST(BaselineWire, BoundedLabelSizesDominate) {
   const std::uint32_t n = 5;
   auto bounded = make_group(Algorithm::kAbdBounded, n, 2);
-  bounded.write(Value::from_int64(1));
+  bounded.client().write_sync(Value::from_int64(1));
   bounded.settle();
   EXPECT_GE(bounded.net().stats().max_control_bits_per_msg(),
             pow_saturating(n, 5));
 
   auto attiya = make_group(Algorithm::kAttiya, n, 2);
-  attiya.write(Value::from_int64(1));
+  attiya.client().write_sync(Value::from_int64(1));
   attiya.settle();
   EXPECT_GE(attiya.net().stats().max_control_bits_per_msg(),
             pow_saturating(n, 3));
@@ -208,10 +208,10 @@ TEST(BaselineWire, BoundedLabelSizesDominate) {
 
 TEST(BaselineWire, UnboundedControlBitsGrowWithWriteCount) {
   auto group = make_group(Algorithm::kAbdUnbounded, 3, 1);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto early = group.net().stats().max_control_bits_per_msg();
-  for (int k = 2; k <= 5000; ++k) group.write(Value::from_int64(k));
+  for (int k = 2; k <= 5000; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   const auto late = group.net().stats().max_control_bits_per_msg();
   EXPECT_GT(late, early);  // the live sequence number got wider
@@ -221,11 +221,11 @@ TEST(BaselineWire, UnboundedControlBitsGrowWithWriteCount) {
 
 TEST(BaselineMemory, UnboundedAbdIsConstantSize) {
   auto group = make_group(Algorithm::kAbdUnbounded, 3, 1);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto& p1 = group.net().process_as<PhasedProcess>(1);
   const auto before = p1.local_memory_bytes();
-  for (int k = 2; k <= 100; ++k) group.write(Value::from_int64(k));
+  for (int k = 2; k <= 100; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   EXPECT_EQ(p1.local_memory_bytes(), before);  // replicas keep one value
 }
@@ -245,7 +245,7 @@ TEST(BaselineMemory, ModeledLabelStoresMatchTable1Exponents) {
 
 TEST(BaselineReplicas, EchoGossipSpreadsFreshValues) {
   auto group = make_group(Algorithm::kAbdBounded, 5, 2);
-  group.write(Value::from_int64(99));
+  group.client().write_sync(Value::from_int64(99));
   group.settle();
   for (ProcessId pid = 0; pid < 5; ++pid) {
     const auto& proc = group.net().process_as<PhasedProcess>(pid);

@@ -27,6 +27,7 @@
 #include "kvstore/sharded_store.hpp"
 #include "runtime/thread_network.hpp"
 #include "sim/sim_network.hpp"
+#include "transport/socket_network.hpp"
 #include "workload/sim_register_group.hpp"
 
 namespace tbr {
@@ -113,16 +114,16 @@ TEST(AllocRegression, TwoBitDisseminationSettlesAllocFree) {
   };
   auto group = make();
   for (int i = 0; i < 17; ++i) {
-    group.write(Value::from_int64(i));
+    group.client().write_sync(Value::from_int64(i));
     group.settle();
-    group.read(4);
+    group.client().read_sync(4);
     group.settle();
   }
 
   std::uint64_t allocs = 0;
   std::uint64_t events = 0;
   for (int k = 0; k < 8; ++k) {
-    group.write(Value::from_int64(1000 + k));
+    group.client().write_sync(Value::from_int64(1000 + k));
     const auto events_before = group.net().events_executed();
     const alloc::Window w;
     group.settle();
@@ -214,6 +215,48 @@ TEST(AllocRegression, ThreadedTicketClosedLoopIsAllocFree) {
   }
   EXPECT_EQ(min_allocs, 0u)
       << "a threaded ticket round-trip must not touch the heap";
+}
+
+TEST(AllocRegression, SocketTicketClosedLoopStaysWithinOneAllocPerOp) {
+  // The socket runtime's ticket loop over real loopback TCP: commands ride
+  // recycled vectors onto the loop thread, frames drain through the
+  // consumed-offset ring, completions resolve into pooled OpStates. Same
+  // min-of-windows discipline as the threaded gate (n loop threads reach
+  // their buffer high-water marks asynchronously; a true per-op allocation
+  // would count in EVERY window), same 1-write-in-4 mix so windows stay
+  // inside the warmed history chunk. Gate (ISSUE 5): <= 1 alloc/op.
+  SocketNetwork::Options opt;
+  opt.cfg.n = 3;
+  opt.cfg.t = 1;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = Algorithm::kTwoBit;
+  SocketNetwork net(std::move(opt));
+  net.start();
+  RegisterClient& client = net.client();
+
+  auto one_op = [&](std::uint32_t k) {
+    if (k % 4 == 0) {
+      ASSERT_TRUE(client.write_sync(Value::from_int64(k)).status.ok());
+    } else {
+      ASSERT_TRUE(client.read_sync((k % 2) + 1).status.ok());
+    }
+  };
+  for (std::uint32_t k = 0; k < 256; ++k) one_op(k);  // warm rings/pools
+
+  constexpr std::uint32_t kWindowOps = 32;
+  std::uint64_t min_allocs = ~0ull;
+  for (int window = 0; window < 4; ++window) {
+    const alloc::Window w;
+    for (std::uint32_t k = 0; k < kWindowOps; ++k) one_op(k);
+    min_allocs = std::min(min_allocs, w.allocations());
+  }
+  net.stop();
+  const double per_op =
+      static_cast<double>(min_allocs) / static_cast<double>(kWindowOps);
+  EXPECT_LE(per_op, 1.0)
+      << "socket ticket ops must stay within one allocation per op ("
+      << min_allocs << " allocs over " << kWindowOps << " ops)";
 }
 
 TEST(AllocRegression, ShardedKvClientStaysWithinOneAllocPerOp) {

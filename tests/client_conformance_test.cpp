@@ -9,13 +9,15 @@
 // simulator, on real threads, on the flat sim-backed store, or on the
 // sharded engine's workers.
 //
-// Register engines under test: SimRegisterGroup, ThreadNetwork.
+// Register engines under test: SimRegisterGroup, ThreadNetwork,
+//                              SocketNetwork (loopback TCP).
 // KV engines under test:       KvStore (flat), ShardedKvStore.
 //
-// (The threaded runtime intentionally has no liveness verdict: real time
-// has no "the queue drained" moment, so an op against a dead quorum waits
-// until its target crashes or the network stops. The liveness cases below
-// therefore cover the three sim-backed engines.)
+// (The wall-clock runtimes — threaded and socket — intentionally have no
+// liveness verdict: real time has no "the queue drained" moment, so an op
+// against a dead quorum waits until its target crashes or the network
+// stops. The liveness cases below therefore cover the three sim-backed
+// engines.)
 
 #include <gtest/gtest.h>
 
@@ -26,6 +28,7 @@
 #include "kvstore/kv_store.hpp"
 #include "kvstore/sharded_store.hpp"
 #include "runtime/thread_network.hpp"
+#include "transport/socket_network.hpp"
 #include "workload/sim_register_group.hpp"
 
 namespace tbr {
@@ -53,6 +56,15 @@ std::unique_ptr<ThreadNetwork> make_thread_net() {
   opt.algo = Algorithm::kTwoBit;
   opt.max_delay_us = 0;
   auto net = std::make_unique<ThreadNetwork>(opt);
+  net->start();
+  return net;
+}
+
+std::unique_ptr<SocketNetwork> make_socket_net() {
+  SocketNetwork::Options opt;
+  opt.cfg = small_cfg();
+  opt.algo = Algorithm::kTwoBit;
+  auto net = std::make_unique<SocketNetwork>(std::move(opt));
   net->start();
   return net;
 }
@@ -87,7 +99,7 @@ RegisterScriptOutcome run_register_script(RegisterClient& client,
   return out;
 }
 
-TEST(ClientConformance, RegisterScriptMatchesAcrossSimAndThreads) {
+TEST(ClientConformance, RegisterScriptMatchesAcrossAllRegisterEngines) {
   auto group = make_sim_group();
   const auto sim = run_register_script(
       group.client(), [&group](ProcessId pid) { group.crash(pid); });
@@ -96,12 +108,23 @@ TEST(ClientConformance, RegisterScriptMatchesAcrossSimAndThreads) {
   const auto threaded = run_register_script(
       net->client(), [&net](ProcessId pid) { net->crash(pid); });
 
+  // Socket crash markers queue FIFO behind the same node's pending
+  // commands, exactly like the threaded mailbox, so no settling is needed
+  // between crash and the next op against that node.
+  auto sock = make_socket_net();
+  const auto socket = run_register_script(
+      sock->client(), [&sock](ProcessId pid) { sock->crash(pid); });
+
   ASSERT_EQ(sim.codes.size(), threaded.codes.size());
   EXPECT_EQ(sim.codes, threaded.codes);
+  ASSERT_EQ(sim.codes.size(), socket.codes.size());
+  EXPECT_EQ(sim.codes, socket.codes);
   EXPECT_EQ(sim.last_read_value, "b");
   EXPECT_EQ(threaded.last_read_value, "b");
+  EXPECT_EQ(socket.last_read_value, "b");
   EXPECT_EQ(sim.last_read_version, 2);
   EXPECT_EQ(threaded.last_read_version, 2);
+  EXPECT_EQ(socket.last_read_version, 2);
 
   const std::vector<StatusCode> expected{
       StatusCode::kOk,      StatusCode::kOk,      StatusCode::kOk,
@@ -143,6 +166,8 @@ TEST(ClientConformance, RegisterBatchPipelinesThroughChains) {
   run(group.client());
   auto net = make_thread_net();
   run(net->client());
+  auto sock = make_socket_net();
+  run(sock->client());
 }
 
 TEST(ClientConformance, CallbackModeAutoRecyclesAndReportsStatus) {
@@ -168,10 +193,26 @@ TEST(ClientConformance, CallbackModeAutoRecyclesAndReportsStatus) {
   run(net->client(), [&net] {
     (void)net->client().write_sync(Value::from_string("fence"));
   });
+  // Socket: the same fence discipline — the chain serializes the callback
+  // write and the fence write on the writer's loop thread.
+  auto sock = make_socket_net();
+  run(sock->client(), [&sock] {
+    (void)sock->client().write_sync(Value::from_string("fence"));
+  });
 }
 
 TEST(ClientConformance, ThreadedShutdownReportsShutdownStatus) {
   auto net = make_thread_net();
+  (void)net->client().write_sync(Value::from_int64(1));
+  net->stop();
+  const OpResult w = net->client().write_sync(Value::from_int64(2));
+  EXPECT_EQ(w.status.code(), StatusCode::kShutdown);
+  const OpResult r = net->client().read_sync(1);
+  EXPECT_EQ(r.status.code(), StatusCode::kShutdown);
+}
+
+TEST(ClientConformance, SocketShutdownReportsShutdownStatus) {
+  auto net = make_socket_net();
   (void)net->client().write_sync(Value::from_int64(1));
   net->stop();
   const OpResult w = net->client().write_sync(Value::from_int64(2));

@@ -31,8 +31,8 @@ TEST(Integration, AllAlgorithmsAgreeOnValues) {
     auto group = make_group(algo, 5, 2);
     std::vector<std::int64_t> seen;
     for (int k = 1; k <= 6; ++k) {
-      group.write(Value::from_int64(k * 3));
-      seen.push_back(group.read(static_cast<ProcessId>(k % 5)).value.to_int64());
+      group.client().write_sync(Value::from_int64(k * 3));
+      seen.push_back(group.client().read_sync(static_cast<ProcessId>(k % 5)).value.to_int64());
     }
     answers.push_back(std::move(seen));
   }
@@ -48,8 +48,8 @@ TEST(Integration, ControlBitOrderingMatchesTable1) {
   std::map<Algorithm, std::uint64_t> max_bits;
   for (const auto algo : all_algorithms()) {
     auto group = make_group(algo, n, 2);
-    for (int k = 1; k <= 8; ++k) group.write(Value::from_int64(k));
-    group.read(2);
+    for (int k = 1; k <= 8; ++k) group.client().write_sync(Value::from_int64(k));
+    group.client().read_sync(2);
     group.settle();
     max_bits[algo] = group.net().stats().max_control_bits_per_msg();
   }
@@ -67,9 +67,9 @@ TEST(Integration, TimingOrderingMatchesTable1) {
   std::map<Algorithm, std::pair<Tick, Tick>> latencies;
   for (const auto algo : all_algorithms()) {
     auto group = make_group(algo, 5, 2);
-    const Tick w = group.write(Value::from_int64(1));
+    const Tick w = group.client().write_sync(Value::from_int64(1)).latency;
     group.settle();
-    const Tick r = group.read(3).latency;
+    const Tick r = group.client().read_sync(3).latency;
     latencies[algo] = {w, r};
   }
   EXPECT_EQ(latencies[Algorithm::kTwoBit].first, 2 * kDelta);
@@ -96,12 +96,12 @@ TEST(Integration, MessageAsymmetryMatchesTable1) {
   for (const auto algo : all_algorithms()) {
     auto group = make_group(algo, n, 4);
     auto before = group.net().stats().snapshot();
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     const auto wmsgs =
         group.net().stats().diff_since(before).total_sent();
     before = group.net().stats().snapshot();
-    group.read(n - 1);
+    group.client().read_sync(n - 1);
     group.settle();
     const auto rmsgs =
         group.net().stats().diff_since(before).total_sent();
@@ -147,10 +147,10 @@ TEST(Integration, PayloadSizesRoundTrip) {
   std::size_t sizes[] = {0, 1, 7, 256, 4096, 65536};
   SeqNo expect_idx = 0;
   for (const auto size : sizes) {
-    group.write(Value::filler(size, static_cast<std::uint8_t>(size % 251)));
+    group.client().write_sync(Value::filler(size, static_cast<std::uint8_t>(size % 251)));
     ++expect_idx;
-    const auto out = group.read(2);
-    EXPECT_EQ(out.index, expect_idx);
+    const auto out = group.client().read_sync(2);
+    EXPECT_EQ(out.version, expect_idx);
     EXPECT_EQ(out.value.size(), size);
     EXPECT_EQ(out.value,
               Value::filler(size, static_cast<std::uint8_t>(size % 251)));
@@ -181,8 +181,8 @@ TEST(Integration, MemoryContrastTwoBitVsAbd) {
   auto twobit = make_group(Algorithm::kTwoBit, 3, 1);
   auto abd = make_group(Algorithm::kAbdUnbounded, 3, 1);
   for (int k = 1; k <= 300; ++k) {
-    twobit.write(Value::from_int64(k));
-    abd.write(Value::from_int64(k));
+    twobit.client().write_sync(Value::from_int64(k));
+    abd.client().write_sync(Value::from_int64(k));
   }
   twobit.settle();
   abd.settle();

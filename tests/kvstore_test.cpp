@@ -26,9 +26,9 @@ KvStore::Options small_store(std::uint32_t slots = 8,
 
 TEST(KvStore, PutThenGetAtEveryReplica) {
   KvStore store(small_store());
-  store.put("alpha", Value::from_string("1"));
+  store.client().put_sync("alpha", Value::from_string("1"));
   for (ProcessId pid = 0; pid < store.node_count(); ++pid) {
-    const auto got = store.get("alpha", pid);
+    const auto got = store.client().get_sync("alpha", pid);
     EXPECT_EQ(got.value.to_string(), "1") << "replica " << pid;
     EXPECT_EQ(got.version, 1);
   }
@@ -38,7 +38,7 @@ TEST(KvStore, UnwrittenKeyReturnsInitial) {
   auto opt = small_store();
   opt.initial = Value::from_string("<default>");
   KvStore store(std::move(opt));
-  const auto got = store.get("never-written", 2);
+  const auto got = store.client().get_sync("never-written", 2);
   EXPECT_EQ(got.value.to_string(), "<default>");
   EXPECT_EQ(got.version, 0);
 }
@@ -46,8 +46,8 @@ TEST(KvStore, UnwrittenKeyReturnsInitial) {
 TEST(KvStore, OverwritesBumpVersions) {
   KvStore store(small_store());
   for (int k = 1; k <= 10; ++k) {
-    store.put("counter", Value::from_int64(k));
-    const auto got = store.get("counter", static_cast<ProcessId>(k % 5));
+    store.client().put_sync("counter", Value::from_int64(k));
+    const auto got = store.client().get_sync("counter", static_cast<ProcessId>(k % 5));
     EXPECT_EQ(got.value.to_int64(), k);
     EXPECT_EQ(got.version, k);
   }
@@ -55,13 +55,13 @@ TEST(KvStore, OverwritesBumpVersions) {
 
 TEST(KvStore, KeysAreIndependent) {
   KvStore store(small_store(16));
-  store.put("a", Value::from_string("va"));
-  store.put("b", Value::from_string("vb"));
-  store.put("a", Value::from_string("va2"));
-  EXPECT_EQ(store.get("a", 1).value.to_string(), "va2");
-  EXPECT_EQ(store.get("b", 1).value.to_string(), "vb");
-  EXPECT_EQ(store.get("a", 1).version, 2);
-  EXPECT_EQ(store.get("b", 1).version, 1) << "b's slot register untouched";
+  store.client().put_sync("a", Value::from_string("va"));
+  store.client().put_sync("b", Value::from_string("vb"));
+  store.client().put_sync("a", Value::from_string("va2"));
+  EXPECT_EQ(store.client().get_sync("a", 1).value.to_string(), "va2");
+  EXPECT_EQ(store.client().get_sync("b", 1).value.to_string(), "vb");
+  EXPECT_EQ(store.client().get_sync("a", 1).version, 2);
+  EXPECT_EQ(store.client().get_sync("b", 1).version, 1) << "b's slot register untouched";
 }
 
 TEST(KvStore, PlacementIsStableAndSpreads) {
@@ -78,9 +78,9 @@ TEST(KvStore, PlacementIsStableAndSpreads) {
 
 TEST(KvStore, ControlBitsStayTwoPerProtocolFrame) {
   KvStore store(small_store());
-  store.put("x", Value::from_int64(1));
-  store.put("y", Value::from_int64(2));
-  (void)store.get("x", 3);
+  store.client().put_sync("x", Value::from_int64(1));
+  store.client().put_sync("y", Value::from_int64(2));
+  (void)store.client().get_sync("x", 3);
   store.settle();
   const auto& stats = store.net().stats();
   EXPECT_GT(stats.total_sent(), 0u);
@@ -105,21 +105,24 @@ TEST(KvStore, HomedShardDiesWithItsNodeOthersSurvive) {
   ASSERT_FALSE(doomed_key.empty());
   ASSERT_FALSE(safe_key.empty());
 
-  store.put(doomed_key, Value::from_string("before"));
-  store.put(safe_key, Value::from_string("s1"));
+  store.client().put_sync(doomed_key, Value::from_string("before"));
+  store.client().put_sync(safe_key, Value::from_string("s1"));
   store.crash(4);
 
   // Writes to the dead shard are refused (single-writer is a *placement*,
   // not a magic failover — DESIGN.md discusses the reconfiguration gap)...
-  EXPECT_THROW(store.put(doomed_key, Value::from_string("after")),
-               std::runtime_error);
+  EXPECT_EQ(store.client()
+                .put_sync(doomed_key, Value::from_string("after"))
+                .status.code(),
+            StatusCode::kCrashed);
   // ...but its data stays readable at live replicas (reads are quorum ops),
-  EXPECT_EQ(store.get(doomed_key, 1).value.to_string(), "before");
+  EXPECT_EQ(store.client().get_sync(doomed_key, 1).value.to_string(), "before");
   // ...and unrelated shards keep accepting writes.
-  store.put(safe_key, Value::from_string("s2"));
-  EXPECT_EQ(store.get(safe_key, 0).value.to_string(), "s2");
+  store.client().put_sync(safe_key, Value::from_string("s2"));
+  EXPECT_EQ(store.client().get_sync(safe_key, 0).value.to_string(), "s2");
   // Reading *at* the corpse is refused.
-  EXPECT_THROW((void)store.get(safe_key, 4), std::runtime_error);
+  EXPECT_EQ(store.client().get_sync(safe_key, 4).status.code(),
+            StatusCode::kCrashed);
 }
 
 TEST(KvStore, MemoryGrowsWithDistinctKeysWritten) {
@@ -127,7 +130,7 @@ TEST(KvStore, MemoryGrowsWithDistinctKeysWritten) {
   store.settle();
   const auto before = store.total_memory_bytes();
   for (int k = 0; k < 32; ++k) {
-    store.put("key-" + std::to_string(k), Value::filler(64));
+    store.client().put_sync("key-" + std::to_string(k), Value::filler(64));
   }
   store.settle();
   EXPECT_GT(store.total_memory_bytes(), before)

@@ -274,11 +274,11 @@ TEST(LinkedRegister, QuickstartSemanticsPreserved) {
   gopt.cfg.initial = Value::from_string("v0");
   gopt.process_factory = linked_twobit_factory();
   SimRegisterGroup group(std::move(gopt));
-  group.write(Value::from_string("v1"));
-  EXPECT_EQ(group.read(3).value.to_string(), "v1");
-  group.write(Value::from_string("v2"));
-  EXPECT_EQ(group.read(1).value.to_string(), "v2");
-  EXPECT_EQ(group.read(0).value.to_string(), "v2");
+  group.client().write_sync(Value::from_string("v1"));
+  EXPECT_EQ(group.client().read_sync(3).value.to_string(), "v1");
+  group.client().write_sync(Value::from_string("v2"));
+  EXPECT_EQ(group.client().read_sync(1).value.to_string(), "v2");
+  EXPECT_EQ(group.client().read_sync(0).value.to_string(), "v2");
 }
 
 struct LossCase {
@@ -371,8 +371,10 @@ TEST(LinkedRegister, ComposesOnTheThreadRuntime) {
   ThreadNetwork net(opt);
   net.start();
   for (int k = 1; k <= 10; ++k) {
-    net.write(Value::from_int64(k)).get();
-    EXPECT_EQ(net.read(static_cast<ProcessId>(k % 3)).get().value.to_int64(),
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(k)).status.ok());
+    EXPECT_EQ(net.client()
+                  .read_sync(static_cast<ProcessId>(k % 3))
+                  .value.to_int64(),
               k);
   }
   net.stop();
@@ -385,7 +387,7 @@ TEST(LinkedRegister, InnerAccountingSeparatesProtocolFromTransport) {
   gopt.cfg.initial = Value::from_int64(0);
   gopt.process_factory = linked_twobit_factory();
   SimRegisterGroup group(std::move(gopt));
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   std::uint64_t inner_bits = 0, header_bits = 0, delivered = 0;
   for (ProcessId pid = 0; pid < 3; ++pid) {

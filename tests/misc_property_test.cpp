@@ -148,10 +148,10 @@ TEST(Scale, MessageBudgetScalesQuadraticallyAtN33) {
   gopt.cfg.initial = Value::from_int64(0);
   gopt.algo = Algorithm::kTwoBit;
   SimRegisterGroup group(std::move(gopt));
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto before = group.net().stats().snapshot();
-  group.write(Value::from_int64(2));
+  group.client().write_sync(Value::from_int64(2));
   group.settle();
   EXPECT_EQ(group.net().stats().diff_since(before).total_sent(),
             33ull * 32ull);
@@ -168,11 +168,11 @@ TEST(PayloadEdges, EmptyValuesFlowThroughEveryAlgorithm) {
     gopt.cfg.initial = Value();  // empty initial value
     gopt.algo = algo;
     SimRegisterGroup group(std::move(gopt));
-    EXPECT_TRUE(group.read(1).value.empty()) << algorithm_name(algo);
-    group.write(Value());  // writing an empty value is legal
-    const auto out = group.read(2);
+    EXPECT_TRUE(group.client().read_sync(1).value.empty()) << algorithm_name(algo);
+    group.client().write_sync(Value());  // writing an empty value is legal
+    const auto out = group.client().read_sync(2);
     EXPECT_TRUE(out.value.empty()) << algorithm_name(algo);
-    EXPECT_EQ(out.index, 1) << algorithm_name(algo);
+    EXPECT_EQ(out.version, 1) << algorithm_name(algo);
   }
 }
 
@@ -184,7 +184,7 @@ TEST(PayloadEdges, LargePayloadsAccountedInDataPlane) {
   gopt.cfg.initial = Value::from_int64(0);
   gopt.algo = Algorithm::kTwoBit;
   SimRegisterGroup group(std::move(gopt));
-  group.write(Value::filler(100'000));
+  group.client().write_sync(Value::filler(100'000));
   group.settle();
   // Control stays 2 bits regardless of payload size.
   EXPECT_EQ(group.net().stats().max_control_bits_per_msg(), 2u);

@@ -95,7 +95,7 @@ TEST(ModelBoundary, MajorityCrashStallsWritesButKeepsSafety) {
   gopt.cfg.initial = Value::from_int64(0);
   gopt.algo = Algorithm::kTwoBit;
   SimRegisterGroup group(std::move(gopt));
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
 
   // Kill a majority: quorums of n-t = 3 are now unreachable.
   group.crash(2);
@@ -143,8 +143,8 @@ TEST(ModelBoundary, OneMoreAliveProcessRestoresLiveness) {
   gopt.algo = Algorithm::kAbdUnbounded;
   SimRegisterGroup group(std::move(gopt));
   group.crash(3);
-  group.write(Value::from_int64(1));
-  EXPECT_EQ(group.read(1).value.to_int64(), 1);
+  group.client().write_sync(Value::from_int64(1));
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 1);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// Threaded-runtime tests: real concurrency, futures, crash semantics, and
-// linearizability of histories produced under genuine thread interleavings.
+// Threaded-runtime tests: real concurrency, the unified client, crash
+// semantics, and linearizability of histories produced under genuine
+// thread interleavings.
 #include <gtest/gtest.h>
 
 #include "runtime/thread_workload.hpp"
@@ -29,11 +30,11 @@ ThreadNetwork::Options net_options(Algorithm algo, std::uint32_t n,
 TEST(ThreadNetworkTest, WriteThenReadEverywhere) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 5, 2));
   net.start();
-  net.write(Value::from_int64(77)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(77)).status.ok());
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = net.read(pid).get();
+    const OpResult out = net.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 77) << "process " << pid;
-    EXPECT_EQ(out.index, 1);
+    EXPECT_EQ(out.version, 1);
   }
   net.stop();
 }
@@ -42,8 +43,9 @@ TEST(ThreadNetworkTest, SequentialWritesVisibleInOrder) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
   for (int k = 1; k <= 25; ++k) {
-    net.write(Value::from_int64(k)).get();
-    const auto out = net.read(static_cast<ProcessId>(k % 3)).get();
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(k)).status.ok());
+    const OpResult out =
+        net.client().read_sync(static_cast<ProcessId>(k % 3));
     EXPECT_EQ(out.value.to_int64(), k);
   }
   net.stop();
@@ -52,9 +54,9 @@ TEST(ThreadNetworkTest, SequentialWritesVisibleInOrder) {
 TEST(ThreadNetworkTest, LatenciesArePositive) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
-  const Tick w = net.write(Value::from_int64(1)).get();
-  EXPECT_GT(w, 0);
-  const auto r = net.read(2).get();
+  const OpResult w = net.client().write_sync(Value::from_int64(1));
+  EXPECT_GT(w.latency, 0);
+  const OpResult r = net.client().read_sync(2);
   EXPECT_GT(r.latency, 0);
   net.stop();
 }
@@ -62,23 +64,23 @@ TEST(ThreadNetworkTest, LatenciesArePositive) {
 TEST(ThreadNetworkTest, CrashedProcessRejectsOps) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 5, 2));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
   net.crash(4);
   // Wait until the crash marker has been consumed.
   while (!net.crashed(4)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  EXPECT_THROW(net.read(4).get(), std::runtime_error);
+  EXPECT_EQ(net.client().read_sync(4).status.code(), StatusCode::kCrashed);
   // The rest of the group keeps working.
-  net.write(Value::from_int64(2)).get();
-  EXPECT_EQ(net.read(1).get().value.to_int64(), 2);
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(2)).status.ok());
+  EXPECT_EQ(net.client().read_sync(1).value.to_int64(), 2);
   net.stop();
 }
 
 TEST(ThreadNetworkTest, StatsAccumulate) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
   const auto stats = net.stats_snapshot();
   EXPECT_GT(stats.total_sent(), 0u);
   EXPECT_EQ(stats.max_control_bits_per_msg(), 2u);
@@ -88,7 +90,7 @@ TEST(ThreadNetworkTest, StatsAccumulate) {
 TEST(ThreadNetworkTest, StopIsIdempotentAndDestructorSafe) {
   ThreadNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
   net.stop();
   net.stop();  // second stop is a no-op
 }
@@ -98,8 +100,8 @@ TEST(ThreadNetworkTest, BaselinesRunOnThreadsToo) {
        {Algorithm::kAbdUnbounded, Algorithm::kAbdBounded, Algorithm::kAttiya}) {
     ThreadNetwork net(net_options(algo, 3, 1));
     net.start();
-    net.write(Value::from_int64(11)).get();
-    EXPECT_EQ(net.read(1).get().value.to_int64(), 11)
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(11)).status.ok());
+    EXPECT_EQ(net.client().read_sync(1).value.to_int64(), 11)
         << algorithm_name(algo);
     net.stop();
   }

@@ -17,7 +17,6 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <future>
 #include <mutex>
 #include <set>
 #include <string>
@@ -84,8 +83,10 @@ TEST(ShardedLinearizability, PerKeyHistoriesAcrossShardBoundaries) {
         for (int round = 1; round <= kWritesPerKey; ++round) {
           Value v = Value::from_int64(round * 1000 + static_cast<int>(k));
           const auto id = logs[k].begin_write(0, now_ns(epoch), round, v);
-          const auto done = store.put(keys[k], std::move(v));
+          const OpResult done =
+              store.client().put_sync(keys[k], std::move(v));
           logs[k].end_write(id, now_ns(epoch));
+          ASSERT_TRUE(done.status.ok()) << done.status.message();
           EXPECT_EQ(done.version, round);
         }
       });
@@ -98,7 +99,7 @@ TEST(ShardedLinearizability, PerKeyHistoriesAcrossShardBoundaries) {
         threads.emplace_back([&, k, client, reader] {
           for (int round = 0; round < kReadsPerReader; ++round) {
             const auto id = logs[k].begin_read(client, now_ns(epoch));
-            const auto got = store.get(keys[k], reader);
+            const OpResult got = store.client().get_sync(keys[k], reader);
             logs[k].end_read(id, now_ns(epoch), got.value, got.version);
           }
         });
@@ -146,8 +147,7 @@ TEST(ShardedLinearizability, WriteCoalescingKeepsPerKeyAtomicity) {
       constexpr int kWaves = 3, kPerWave = 3;
       int payload = 0;
       for (int wave = 0; wave < kWaves; ++wave) {
-        std::vector<std::pair<std::size_t,
-                              std::future<ShardedKvStore::PutResult>>> wave_ops;
+        std::vector<std::pair<std::size_t, Ticket>> wave_ops;
         for (int j = 0; j < kPerWave; ++j) {
           ClientOp op;
           op.is_write = true;
@@ -155,10 +155,11 @@ TEST(ShardedLinearizability, WriteCoalescingKeepsPerKeyAtomicity) {
           op.start = now_ns(epoch);
           writes.push_back(op);
           wave_ops.emplace_back(writes.size() - 1,
-                                store.put_async(key, op.value));
+                                store.client().put(key, op.value));
         }
-        for (auto& [idx, future] : wave_ops) {
-          const auto done = future.get();
+        for (auto& [idx, ticket] : wave_ops) {
+          const OpResult done = store.client().wait(ticket);
+          ASSERT_TRUE(done.status.ok()) << done.status.message();
           writes[idx].end = now_ns(epoch);
           writes[idx].version = done.version;
           writes[idx].absorbed = done.absorbed;
@@ -171,7 +172,7 @@ TEST(ShardedLinearizability, WriteCoalescingKeepsPerKeyAtomicity) {
         for (int round = 0; round < 3; ++round) {
           ClientOp op;
           op.start = now_ns(epoch);
-          const auto got = store.get(key, reader);
+          const OpResult got = store.client().get_sync(key, reader);
           op.end = now_ns(epoch);
           op.version = got.version;
           op.value = got.value;
@@ -234,7 +235,7 @@ TEST(ShardedLinearizability, WriteCoalescingKeepsPerKeyAtomicity) {
   EXPECT_TRUE(wg_linearizable(ops, Value()));
 
   // And the register's final state is the last queued value.
-  const auto final_got = store.get(key);
+  const OpResult final_got = store.client().get_sync(key);
   EXPECT_EQ(final_got.value.to_int64(), 9);
   EXPECT_EQ(final_got.version, max_version);
 }

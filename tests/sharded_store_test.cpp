@@ -4,7 +4,6 @@
 // order), and crash isolation between shards.
 #include <gtest/gtest.h>
 
-#include <future>
 #include <set>
 #include <string>
 #include <vector>
@@ -65,9 +64,9 @@ ShardedKvStore::Options small_store(std::uint32_t shards = 4,
 
 TEST(ShardedKvStore, PutThenGetAtEveryReplica) {
   ShardedKvStore store(small_store());
-  store.put("alpha", Value::from_string("1"));
+  store.client().put_sync("alpha", Value::from_string("1"));
   for (ProcessId pid = 0; pid < store.node_count(); ++pid) {
-    const auto got = store.get("alpha", pid);
+    const auto got = store.client().get_sync("alpha", pid);
     EXPECT_EQ(got.value.to_string(), "1") << "replica " << pid;
     EXPECT_EQ(got.version, 1);
   }
@@ -77,7 +76,7 @@ TEST(ShardedKvStore, UnwrittenKeyReturnsInitial) {
   auto opt = small_store();
   opt.initial = Value::from_string("<default>");
   ShardedKvStore store(std::move(opt));
-  const auto got = store.get("never-written");
+  const auto got = store.client().get_sync("never-written");
   EXPECT_EQ(got.value.to_string(), "<default>");
   EXPECT_EQ(got.version, 0);
 }
@@ -85,10 +84,10 @@ TEST(ShardedKvStore, UnwrittenKeyReturnsInitial) {
 TEST(ShardedKvStore, SequentialOverwritesBumpVersions) {
   ShardedKvStore store(small_store());
   for (int k = 1; k <= 10; ++k) {
-    const auto put = store.put("counter", Value::from_int64(k));
+    const auto put = store.client().put_sync("counter", Value::from_int64(k));
     EXPECT_EQ(put.version, k);
     EXPECT_FALSE(put.absorbed) << "awaited puts are never absorbed";
-    const auto got = store.get("counter");
+    const auto got = store.client().get_sync("counter");
     EXPECT_EQ(got.value.to_int64(), k);
     EXPECT_EQ(got.version, k);
   }
@@ -105,28 +104,29 @@ TEST(ShardedKvStore, KeysInDifferentShardsAreIndependent) {
     }
   }
   ASSERT_FALSE(b.empty());
-  store.put(a, Value::from_string("va"));
-  store.put(b, Value::from_string("vb"));
-  store.put(a, Value::from_string("va2"));
-  EXPECT_EQ(store.get(a).value.to_string(), "va2");
-  EXPECT_EQ(store.get(a).version, 2);
-  EXPECT_EQ(store.get(b).value.to_string(), "vb");
-  EXPECT_EQ(store.get(b).version, 1) << "b's shard never saw a's writes";
+  store.client().put_sync(a, Value::from_string("va"));
+  store.client().put_sync(b, Value::from_string("vb"));
+  store.client().put_sync(a, Value::from_string("va2"));
+  EXPECT_EQ(store.client().get_sync(a).value.to_string(), "va2");
+  EXPECT_EQ(store.client().get_sync(a).version, 2);
+  EXPECT_EQ(store.client().get_sync(b).value.to_string(), "vb");
+  EXPECT_EQ(store.client().get_sync(b).version, 1) << "b's shard never saw a's writes";
 }
 
 TEST(ShardedKvStore, AsyncBurstResolvesEverythingLastValueWins) {
   ShardedKvStore store(small_store());
-  std::vector<std::future<ShardedKvStore::PutResult>> puts;
+  std::vector<Ticket> puts;
   for (int k = 1; k <= 32; ++k) {
-    puts.push_back(store.put_async("hot", Value::from_int64(k)));
+    puts.push_back(store.client().put("hot", Value::from_int64(k)));
   }
   SeqNo max_version = 0;
-  for (auto& f : puts) {
-    const auto done = f.get();
+  for (const Ticket& t : puts) {
+    const OpResult done = store.client().wait(t);
+    EXPECT_TRUE(done.status.ok()) << done.status.message();
     EXPECT_GE(done.version, 1);
     max_version = std::max(max_version, done.version);
   }
-  const auto got = store.get("hot");
+  const auto got = store.client().get_sync("hot");
   // However the burst landed in windows, the LAST queued value survives
   // and the final version is the number of protocol writes issued.
   EXPECT_EQ(got.value.to_int64(), 32);
@@ -137,25 +137,28 @@ TEST(ShardedKvStore, AsyncBurstResolvesEverythingLastValueWins) {
 
 TEST(ShardedKvStore, CrashedHomeRefusesPutsKeysStayReadable) {
   ShardedKvStore store(small_store());
-  store.put("victim", Value::from_string("before"));
+  store.client().put_sync("victim", Value::from_string("before"));
   const auto at = store.router().place("victim");
   store.crash(at.shard, at.home);
   store.drain();
 
-  EXPECT_THROW(store.put("victim", Value::from_string("after")),
-               std::runtime_error);
+  EXPECT_EQ(store.client()
+                .put_sync("victim", Value::from_string("after"))
+                .status.code(),
+            StatusCode::kCrashed);
   // Reads are quorum ops at the surviving replicas.
   const ProcessId other = (at.home + 1) % store.node_count();
-  EXPECT_EQ(store.get("victim", other).value.to_string(), "before");
+  EXPECT_EQ(store.client().get_sync("victim", other).value.to_string(), "before");
   // Reading AT the corpse is refused.
-  EXPECT_THROW((void)store.get("victim", at.home), std::runtime_error);
+  EXPECT_EQ(store.client().get_sync("victim", at.home).status.code(),
+            StatusCode::kCrashed);
 
   // Every other shard never noticed.
   for (int k = 0; k < 200; ++k) {
     const std::string key = "other-" + std::to_string(k);
     if (store.router().shard_of(key) == at.shard) continue;
-    store.put(key, Value::from_int64(k));
-    EXPECT_EQ(store.get(key).value.to_int64(), k);
+    store.client().put_sync(key, Value::from_int64(k));
+    EXPECT_EQ(store.client().get_sync(key).value.to_int64(), k);
     break;
   }
 }
@@ -166,7 +169,7 @@ TEST(ShardedKvStore, CrashedHomeRefusesPutsKeysStayReadable) {
 // would throw on the worker thread and abort the process).
 TEST(ShardedKvStore, OverBudgetCrashesFailFastWithoutAborting) {
   ShardedKvStore store(small_store(/*shards=*/1));
-  store.put("warm", Value::from_int64(1));
+  store.client().put_sync("warm", Value::from_int64(1));
 
   store.crash(0, 1);
   store.crash(0, 2);  // 2 > t = 1: no quorum left
@@ -180,16 +183,21 @@ TEST(ShardedKvStore, OverBudgetCrashesFailFastWithoutAborting) {
     if (store.router().home_node(key) == 0) stalled_key = key;
   }
   ASSERT_FALSE(stalled_key.empty());
-  EXPECT_THROW(store.put(stalled_key, Value::from_int64(2)),
-               std::runtime_error);
+  EXPECT_EQ(store.client()
+                .put_sync(stalled_key, Value::from_int64(2))
+                .status.code(),
+            StatusCode::kLivenessLost);
 
   // From now on the shard refuses everything fast — and the process is
   // still alive to observe it.
-  EXPECT_THROW(store.put(stalled_key, Value::from_int64(3)),
-               std::runtime_error);
-  EXPECT_THROW((void)store.get("warm", 0), std::runtime_error);
-  // A failed promise unblocks the client before the worker publishes its
-  // report; drain() waits for the window to finish accounting.
+  EXPECT_EQ(store.client()
+                .put_sync(stalled_key, Value::from_int64(3))
+                .status.code(),
+            StatusCode::kLivenessLost);
+  EXPECT_EQ(store.client().get_sync("warm", 0).status.code(),
+            StatusCode::kLivenessLost);
+  // A failed completion unblocks the client before the worker publishes
+  // its report; drain() waits for the window to finish accounting.
   store.drain();
   EXPECT_TRUE(store.shard_report(0).lost_liveness);
   EXPECT_GE(store.shard_report(0).failed_ops, 3u);
@@ -198,7 +206,7 @@ TEST(ShardedKvStore, OverBudgetCrashesFailFastWithoutAborting) {
 TEST(ShardedKvStore, ShardReportsAccumulate) {
   ShardedKvStore store(small_store());
   for (int k = 0; k < 20; ++k) {
-    store.put("k" + std::to_string(k), Value::from_int64(k));
+    store.client().put_sync("k" + std::to_string(k), Value::from_int64(k));
   }
   store.drain();
   const auto stats = store.batch_stats();

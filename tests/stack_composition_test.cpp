@@ -41,11 +41,11 @@ TEST_P(StackedStore, KvOverLinkOverLossyChannels) {
   KvStore store(std::move(opt));
 
   for (int k = 1; k <= 6; ++k) {
-    store.put("k" + std::to_string(k % 3), Value::from_int64(k));
+    store.client().put_sync("k" + std::to_string(k % 3), Value::from_int64(k));
   }
-  EXPECT_EQ(store.get("k0", 1).value.to_int64(), 6);
-  EXPECT_EQ(store.get("k1", 2).value.to_int64(), 4);
-  EXPECT_EQ(store.get("k2", 3).value.to_int64(), 5);
+  EXPECT_EQ(store.client().get_sync("k0", 1).value.to_int64(), 6);
+  EXPECT_EQ(store.client().get_sync("k1", 2).value.to_int64(), 4);
+  EXPECT_EQ(store.client().get_sync("k2", 3).value.to_int64(), 5);
   EXPECT_GT(store.net().frames_lost(), 0u)
       << "the sweep must actually have exercised loss";
 }
@@ -101,12 +101,12 @@ TEST(StackComposition, DoubleDecorationLinkUnderMux) {
   KvStore store(std::move(opt));
   for (int round = 1; round <= 5; ++round) {
     for (int k = 0; k < 4; ++k) {
-      store.put("key" + std::to_string(k),
+      store.client().put_sync("key" + std::to_string(k),
                 Value::from_int64(round * 10 + k));
     }
   }
   for (int k = 0; k < 4; ++k) {
-    const auto got = store.get("key" + std::to_string(k), 1);
+    const auto got = store.client().get_sync("key" + std::to_string(k), 1);
     EXPECT_EQ(got.value.to_int64(), 50 + k);
     EXPECT_EQ(got.version, 5);
   }

@@ -110,7 +110,8 @@ TEST(ThreadTimers, ChainedTimersFireOnProcessThread) {
   };
   ThreadNetwork net(opt);
   net.start();
-  net.write(Value()).get();  // arms the 1us + 1us timer chain
+  // Arms the 1us + 1us timer chain.
+  ASSERT_TRUE(net.client().write_sync(Value()).status.ok());
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (writer_host->fired.load(std::memory_order_relaxed) < 2 &&
@@ -135,7 +136,8 @@ TEST(SocketTimers, ChainedTimersFireOnLoopThread) {
   };
   SocketNetwork net(std::move(opt));
   net.start();
-  net.write(Value()).get();  // arms the 1us + 1us timer chain
+  // Arms the 1us + 1us timer chain.
+  ASSERT_TRUE(net.client().write_sync(Value()).status.ok());
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (writer_host->fired.load(std::memory_order_relaxed) < 2 &&

@@ -26,7 +26,7 @@ TEST(TraceTest, WriteDisseminationPattern) {
   auto group = make_group(3);
   TraceLog trace;
   group.net().set_trace(&trace);
-  group.write(Value::from_int64(10));
+  group.client().write_sync(Value::from_int64(10));
   group.settle();
 
   const auto sends = trace.of_kind(TraceEvent::Kind::kSend);
@@ -57,11 +57,11 @@ TEST(TraceTest, ParityAlternatesAcrossWrites) {
   auto group = make_group(3);
   TraceLog trace;
   group.net().set_trace(&trace);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
-  group.write(Value::from_int64(2));
+  group.client().write_sync(Value::from_int64(2));
   group.settle();
-  group.write(Value::from_int64(3));
+  group.client().write_sync(Value::from_int64(3));
   group.settle();
 
   for (const auto& e : trace.of_kind(TraceEvent::Kind::kSend)) {
@@ -75,10 +75,10 @@ TEST(TraceTest, ParityAlternatesAcrossWrites) {
 TEST(TraceTest, ReadHandshakeSequence) {
   auto group = make_group(3);
   TraceLog trace;
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   group.net().set_trace(&trace);
-  group.read(2);
+  group.client().read_sync(2);
   group.settle();
 
   const auto sends = trace.of_kind(TraceEvent::Kind::kSend);
@@ -95,7 +95,7 @@ TEST(TraceTest, CrashAndDropRecorded) {
   TraceLog trace;
   group.net().set_trace(&trace);
   group.crash(2);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
 
   const auto crashes = trace.of_kind(TraceEvent::Kind::kCrash);
@@ -109,7 +109,7 @@ TEST(TraceTest, RenderContainsTypeNamesAndTimes) {
   auto group = make_group(3);
   TraceLog trace;
   group.net().set_trace(&trace);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto text = trace.render(twobit_codec(), kDelta);
   EXPECT_NE(text.find("WRITE1"), std::string::npos);
@@ -123,11 +123,11 @@ TEST(TraceTest, DetachStopsRecording) {
   auto group = make_group(3);
   TraceLog trace;
   group.net().set_trace(&trace);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
   const auto before = trace.size();
   group.net().set_trace(nullptr);
-  group.write(Value::from_int64(2));
+  group.client().write_sync(Value::from_int64(2));
   group.settle();
   EXPECT_EQ(trace.size(), before);
 }

@@ -1,13 +1,18 @@
 // Socket runtime (src/transport): the register over real loopback TCP —
-// basic semantics, all four algorithms on the wire, crash behaviour,
-// concurrent-history atomicity, and composition with the reliable-link
-// decorator (timers on a real event loop).
+// basic semantics via the unified client, all four algorithms on the
+// wire, crash behaviour, the inbound frame ring, concurrent-history
+// atomicity, and composition with the reliable-link decorator (timers on
+// a real event loop).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/twobit_process.hpp"
 #include "link/reliable_link.hpp"
+#include "transport/frame_buffer.hpp"
 #include "transport/socket_workload.hpp"
 
 namespace tbr {
@@ -33,11 +38,11 @@ SocketNetwork::Options net_options(Algorithm algo, std::uint32_t n,
 TEST(SocketNetworkTest, WriteThenReadEverywhere) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 5, 2));
   net.start();
-  net.write(Value::from_int64(77)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(77)).status.ok());
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = net.read(pid).get();
+    const OpResult out = net.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 77) << "process " << pid;
-    EXPECT_EQ(out.index, 1);
+    EXPECT_EQ(out.version, 1);
   }
   net.stop();
 }
@@ -46,8 +51,9 @@ TEST(SocketNetworkTest, SequentialWritesVisibleInOrder) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
   for (int k = 1; k <= 20; ++k) {
-    net.write(Value::from_int64(k)).get();
-    const auto out = net.read(static_cast<ProcessId>(k % 3)).get();
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(k)).status.ok());
+    const OpResult out =
+        net.client().read_sync(static_cast<ProcessId>(k % 3));
     EXPECT_EQ(out.value.to_int64(), k);
   }
   net.stop();
@@ -57,16 +63,17 @@ TEST(SocketNetworkTest, StringValuesSurviveTheWire) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
   const std::string payload(4096, 'x');  // bigger than one read chunk slice
-  net.write(Value::from_string(payload + "end")).get();
-  EXPECT_EQ(net.read(2).get().value.to_string(), payload + "end");
+  ASSERT_TRUE(
+      net.client().write_sync(Value::from_string(payload + "end")).status.ok());
+  EXPECT_EQ(net.client().read_sync(2).value.to_string(), payload + "end");
   net.stop();
 }
 
 TEST(SocketNetworkTest, TwoBitFramesCostTwoBitsOnTcpToo) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
-  net.write(Value::from_int64(1)).get();
-  (void)net.read(1).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
+  (void)net.client().read_sync(1);
   const auto stats = net.stats_snapshot();
   EXPECT_GT(stats.total_sent(), 0u);
   EXPECT_EQ(stats.max_control_bits_per_msg(), 2u)
@@ -78,25 +85,54 @@ TEST(SocketNetworkTest, AllFourAlgorithmsSpeakTcp) {
   for (const auto algo : all_algorithms()) {
     SocketNetwork net(net_options(algo, 3, 1));
     net.start();
-    net.write(Value::from_int64(11)).get();
-    EXPECT_EQ(net.read(1).get().value.to_int64(), 11)
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(11)).status.ok());
+    EXPECT_EQ(net.client().read_sync(1).value.to_int64(), 11)
         << algorithm_name(algo);
     net.stop();
   }
 }
 
+TEST(SocketNetworkTest, PipelinedBatchCompletesInOrderPerProcess) {
+  // submit(span) through the socket client: the per-process chains keep at
+  // most one op in flight per loop thread, the rest pipeline behind it.
+  SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
+  net.start();
+  std::array<RegisterOp, 6> ops;
+  for (int k = 0; k < 3; ++k) {
+    ops[2 * k].kind = OpKind::kWrite;
+    ops[2 * k].value = Value::from_int64(k + 1);
+    ops[2 * k + 1].kind = OpKind::kRead;
+    ops[2 * k + 1].reader = 1;
+  }
+  std::array<Ticket, 6> tickets;
+  ASSERT_EQ(net.client().submit(ops, tickets.data()), 6u);
+  SeqNo last_version = -1;
+  for (int k = 0; k < 6; ++k) {
+    const OpResult r = net.client().wait(tickets[k]);
+    EXPECT_TRUE(r.status.ok()) << r.status.message();
+    if (k % 2 == 1) {
+      EXPECT_GE(r.version, last_version);
+      last_version = r.version;
+    }
+  }
+  const OpResult after = net.client().read_sync(2);
+  EXPECT_EQ(after.version, 3);
+  EXPECT_EQ(after.value.to_int64(), 3);
+  net.stop();
+}
+
 TEST(SocketNetworkTest, CrashedProcessRejectsOpsAndGroupSurvives) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 5, 2));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
   net.crash(4);
   while (!net.crashed(4)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  EXPECT_THROW(net.read(4).get(), std::runtime_error);
+  EXPECT_EQ(net.client().read_sync(4).status.code(), StatusCode::kCrashed);
   // Peers observe the dead channel; quorums never needed p4.
-  net.write(Value::from_int64(2)).get();
-  EXPECT_EQ(net.read(1).get().value.to_int64(), 2);
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(2)).status.ok());
+  EXPECT_EQ(net.client().read_sync(1).value.to_int64(), 2);
   net.stop();
 }
 
@@ -106,8 +142,10 @@ TEST(SocketNetworkTest, MinorityCrashMidProtocol) {
   net.crash(3);
   net.crash(4);  // f = t = 2: the group must still be live
   for (int k = 1; k <= 10; ++k) {
-    net.write(Value::from_int64(k)).get();
-    EXPECT_EQ(net.read(static_cast<ProcessId>(k % 3)).get().value.to_int64(),
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(k)).status.ok());
+    EXPECT_EQ(net.client()
+                  .read_sync(static_cast<ProcessId>(k % 3))
+                  .value.to_int64(),
               k);
   }
   net.stop();
@@ -116,9 +154,47 @@ TEST(SocketNetworkTest, MinorityCrashMidProtocol) {
 TEST(SocketNetworkTest, StopIsIdempotentAndDestructorSafe) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
-  net.write(Value::from_int64(1)).get();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
   net.stop();
   net.stop();
+}
+
+TEST(SocketNetworkTest, ShutdownDrainsDeepPipelinedChainIteratively) {
+  // Regression: a pipelined chain unwinding at shutdown cascades through
+  // synchronous complete_failed() calls — with mutual recursion that is a
+  // stack frame per queued op, and 20k ops would overflow; the client's
+  // deferred-issue drain must unwind it as a loop.
+  SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
+  net.start();
+  constexpr std::size_t kOps = 20'000;
+  std::vector<RegisterOp> ops(kOps);
+  for (auto& op : ops) {
+    op.kind = OpKind::kWrite;
+    op.value = Value::from_int64(1);
+  }
+  std::vector<Ticket> tickets(kOps);
+  ASSERT_EQ(net.client().submit(ops, tickets.data()), kOps);
+  net.stop();
+  std::size_t completed = 0;
+  for (const Ticket& t : tickets) {
+    const OpResult r = net.client().wait(t);
+    if (r.status.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kShutdown);
+    }
+  }
+  EXPECT_LT(completed, kOps) << "stop() should strand most of the chain";
+}
+
+TEST(SocketNetworkTest, ShutdownReportsShutdownStatus) {
+  SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
+  net.start();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
+  net.stop();
+  EXPECT_EQ(net.client().write_sync(Value::from_int64(2)).status.code(),
+            StatusCode::kShutdown);
+  EXPECT_EQ(net.client().read_sync(1).status.code(), StatusCode::kShutdown);
 }
 
 TEST(SocketNetworkTest, LinkDecoratorComposesOverTcp) {
@@ -135,11 +211,78 @@ TEST(SocketNetworkTest, LinkDecoratorComposesOverTcp) {
   SocketNetwork net(std::move(opt));
   net.start();
   for (int k = 1; k <= 10; ++k) {
-    net.write(Value::from_int64(k)).get();
-    EXPECT_EQ(net.read(static_cast<ProcessId>(k % 3)).get().value.to_int64(),
+    ASSERT_TRUE(net.client().write_sync(Value::from_int64(k)).status.ok());
+    EXPECT_EQ(net.client()
+                  .read_sync(static_cast<ProcessId>(k % 3))
+                  .value.to_int64(),
               k);
   }
   net.stop();
+}
+
+// ---- the inbound frame ring --------------------------------------------------------
+
+TEST(FrameBufferTest, DrainsManySmallFramesFromOneBufferedRead) {
+  // One large buffered read delivering hundreds of small frames — the case
+  // the consumed-offset ring exists for. Every frame must come back intact
+  // and in order, with the consumed prefix folded away only on the
+  // amortized compaction schedule (never once per drain).
+  FrameBuffer buf;
+  constexpr int kFrames = 512;
+  for (int k = 0; k < kFrames; ++k) {
+    FrameBuffer::append_frame(buf.tail(),
+                              "frame-" + std::to_string(k) + "-payload");
+  }
+  std::string_view frame;
+  for (int k = 0; k < kFrames; ++k) {
+    ASSERT_TRUE(buf.next_frame(frame)) << "frame " << k;
+    EXPECT_EQ(frame, "frame-" + std::to_string(k) + "-payload");
+  }
+  EXPECT_FALSE(buf.next_frame(frame));
+  EXPECT_EQ(buf.pending_bytes(), 0u);
+  EXPECT_LT(buf.compactions(), static_cast<std::uint64_t>(kFrames) / 4)
+      << "draining a frame must not memmove the whole remainder each time";
+}
+
+TEST(FrameBufferTest, PartialFramesSpanAppends) {
+  // Stream bytes arrive in arbitrary slices: a frame split across appends
+  // must only surface once complete, and zero-length frames are legal.
+  FrameBuffer buf;
+  std::string wire;
+  FrameBuffer::append_frame(wire, "alpha");
+  FrameBuffer::append_frame(wire, "");
+  FrameBuffer::append_frame(wire, std::string(3000, 'z'));
+  std::string_view frame;
+  for (std::size_t cut = 1; cut < wire.size(); cut += 911) {
+    FrameBuffer sliced;
+    sliced.tail().append(wire, 0, cut);
+    std::vector<std::string> seen;
+    while (sliced.next_frame(frame)) seen.push_back(std::string(frame));
+    sliced.tail().append(wire, cut, std::string::npos);
+    while (sliced.next_frame(frame)) seen.push_back(std::string(frame));
+    ASSERT_EQ(seen.size(), 3u) << "cut at " << cut;
+    EXPECT_EQ(seen[0], "alpha");
+    EXPECT_EQ(seen[1], "");
+    EXPECT_EQ(seen[2], std::string(3000, 'z'));
+  }
+  (void)buf;
+}
+
+TEST(FrameBufferTest, InterleavedAppendDrainKeepsOffsetBounded) {
+  // Producer/consumer in lockstep with a persistent one-frame backlog: the
+  // read offset must stay bounded by compaction instead of growing without
+  // limit (the ring's whole point).
+  FrameBuffer buf;
+  std::string_view frame;
+  FrameBuffer::append_frame(buf.tail(), "backlog");
+  for (int k = 0; k < 10000; ++k) {
+    FrameBuffer::append_frame(buf.tail(), "item-" + std::to_string(k));
+    ASSERT_TRUE(buf.next_frame(frame));
+  }
+  EXPECT_LT(buf.read_offset() + buf.pending_bytes(), 4096u)
+      << "storage must stay near the backlog size, not the bytes ever seen";
+  ASSERT_TRUE(buf.next_frame(frame));
+  EXPECT_EQ(frame, "item-9999");
 }
 
 // ---- concurrent workloads with atomicity checking -----------------------------------

@@ -33,64 +33,64 @@ SimRegisterGroup make_group(std::uint32_t n, std::uint32_t t,
 TEST(TwoBitBasic, InitialValueReadableEverywhere) {
   auto group = make_group(5, 2);
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = group.read(pid);
+    const auto out = group.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 0) << "process " << pid;
-    EXPECT_EQ(out.index, 0);
+    EXPECT_EQ(out.version, 0);
   }
 }
 
 TEST(TwoBitBasic, WriteThenReadEverywhere) {
   auto group = make_group(5, 2);
-  group.write(Value::from_int64(41));
+  group.client().write_sync(Value::from_int64(41));
   for (ProcessId pid = 0; pid < 5; ++pid) {
-    const auto out = group.read(pid);
+    const auto out = group.client().read_sync(pid);
     EXPECT_EQ(out.value.to_int64(), 41);
-    EXPECT_EQ(out.index, 1);
+    EXPECT_EQ(out.version, 1);
   }
 }
 
 TEST(TwoBitBasic, SequenceOfWritesReadsLatest) {
   auto group = make_group(7, 3);
   for (int k = 1; k <= 20; ++k) {
-    group.write(Value::from_int64(k * 100));
-    const auto out = group.read(static_cast<ProcessId>(k % 7));
+    group.client().write_sync(Value::from_int64(k * 100));
+    const auto out = group.client().read_sync(static_cast<ProcessId>(k % 7));
     EXPECT_EQ(out.value.to_int64(), k * 100);
-    EXPECT_EQ(out.index, k);
+    EXPECT_EQ(out.version, k);
   }
 }
 
 TEST(TwoBitBasic, SingleProcessGroup) {
   auto group = make_group(1, 0);
-  group.write(Value::from_int64(9));
-  const auto out = group.read(0);
+  group.client().write_sync(Value::from_int64(9));
+  const auto out = group.client().read_sync(0);
   EXPECT_EQ(out.value.to_int64(), 9);
 }
 
 TEST(TwoBitBasic, TwoProcessesZeroFaults) {
   auto group = make_group(2, 0);
-  group.write(Value::from_int64(5));
-  EXPECT_EQ(group.read(1).value.to_int64(), 5);
-  EXPECT_EQ(group.read(0).value.to_int64(), 5);
+  group.client().write_sync(Value::from_int64(5));
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 5);
+  EXPECT_EQ(group.client().read_sync(0).value.to_int64(), 5);
 }
 
 TEST(TwoBitBasic, StringValuesRoundTrip) {
   auto group = make_group(3, 1);
-  group.write(Value::from_string("configuration v2"));
-  EXPECT_EQ(group.read(2).value.to_string(), "configuration v2");
+  group.client().write_sync(Value::from_string("configuration v2"));
+  EXPECT_EQ(group.client().read_sync(2).value.to_string(), "configuration v2");
 }
 
 TEST(TwoBitBasic, WriterCanReadViaFullProtocol) {
   auto group = make_group(5, 2);
-  group.write(Value::from_int64(77));
-  const auto out = group.read(0);  // writer reads, no fast path
+  group.client().write_sync(Value::from_int64(77));
+  const auto out = group.client().read_sync(0);  // writer reads, no fast path
   EXPECT_EQ(out.value.to_int64(), 77);
 }
 
 TEST(TwoBitBasic, WriterFastReadIsLocal) {
   auto group = make_group(5, 2, /*seed=*/1, /*fast_read=*/true);
-  group.write(Value::from_int64(13));
+  group.client().write_sync(Value::from_int64(13));
   const auto before = group.net().stats().total_sent();
-  const auto out = group.read(0);
+  const auto out = group.client().read_sync(0);
   EXPECT_EQ(out.value.to_int64(), 13);
   EXPECT_EQ(out.latency, 0);  // resolved without any simulated delay
   EXPECT_EQ(group.net().stats().total_sent(), before);  // and no messages
@@ -100,32 +100,32 @@ TEST(TwoBitBasic, SurvivesMinorityCrashBeforeOps) {
   auto group = make_group(5, 2);
   group.crash(3);
   group.crash(4);
-  group.write(Value::from_int64(1000));
+  group.client().write_sync(Value::from_int64(1000));
   for (ProcessId pid = 0; pid < 3; ++pid) {
-    EXPECT_EQ(group.read(pid).value.to_int64(), 1000);
+    EXPECT_EQ(group.client().read_sync(pid).value.to_int64(), 1000);
   }
 }
 
 TEST(TwoBitBasic, SurvivesCrashBetweenWrites) {
   auto group = make_group(7, 3);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.crash(6);
-  group.write(Value::from_int64(2));
+  group.client().write_sync(Value::from_int64(2));
   group.crash(5);
-  group.write(Value::from_int64(3));
+  group.client().write_sync(Value::from_int64(3));
   group.crash(4);
-  group.write(Value::from_int64(4));
-  EXPECT_EQ(group.read(1).value.to_int64(), 4);
-  EXPECT_EQ(group.read(3).value.to_int64(), 4);
+  group.client().write_sync(Value::from_int64(4));
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 4);
+  EXPECT_EQ(group.client().read_sync(3).value.to_int64(), 4);
 }
 
 TEST(TwoBitBasic, ManyWritesLongHistory) {
   auto group = make_group(3, 1);
-  for (int k = 1; k <= 200; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 200; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
-  const auto out = group.read(2);
+  const auto out = group.client().read_sync(2);
   EXPECT_EQ(out.value.to_int64(), 200);
-  EXPECT_EQ(out.index, 200);
+  EXPECT_EQ(out.version, 200);
   // After settling, every process holds the full history (Lemma 4 + Lemma 6).
   for (ProcessId pid = 0; pid < 3; ++pid) {
     const auto& proc = group.net().process_as<TwoBitProcess>(pid);
@@ -138,10 +138,10 @@ TEST(TwoBitBasic, ManyWritesLongHistory) {
 TEST(TwoBitTheorem2, WriteCostsNTimesNMinusOneMessagesSteadyState) {
   for (const std::uint32_t n : {2u, 3u, 5u, 8u}) {
     auto group = make_group(n, (n - 1) / 2);
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();  // let the first write's dissemination finish
     const auto before = group.net().stats().snapshot();
-    group.write(Value::from_int64(2));
+    group.client().write_sync(Value::from_int64(2));
     group.settle();
     const auto delta = group.net().stats().diff_since(before);
     // Theorem 2: the writer sends n-1 frames and each of the n-1 others
@@ -153,10 +153,10 @@ TEST(TwoBitTheorem2, WriteCostsNTimesNMinusOneMessagesSteadyState) {
 TEST(TwoBitTheorem2, ReadCostsTwoNMinusOneMessagesSteadyState) {
   for (const std::uint32_t n : {2u, 3u, 5u, 8u}) {
     auto group = make_group(n, (n - 1) / 2);
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     const auto before = group.net().stats().snapshot();
-    const auto out = group.read(n - 1);
+    const auto out = group.client().read_sync(n - 1);
     group.settle();
     const auto delta = group.net().stats().diff_since(before);
     EXPECT_EQ(out.value.to_int64(), 1);
@@ -173,8 +173,8 @@ TEST(TwoBitTheorem2, ReadCostsTwoNMinusOneMessagesSteadyState) {
 
 TEST(TwoBitTheorem2, EveryMessageCarriesTwoControlBits) {
   auto group = make_group(5, 2);
-  group.write(Value::from_int64(1));
-  group.read(3);
+  group.client().write_sync(Value::from_int64(1));
+  group.client().read_sync(3);
   group.settle();
   EXPECT_EQ(group.net().stats().max_control_bits_per_msg(), 2u);
 }
@@ -205,7 +205,7 @@ TEST(TwoBitProcessLevel, ConfigValidationRejectsBadQuorum) {
 
 TEST(TwoBitProcessLevel, HistoriesConvergeAfterSettle) {
   auto group = make_group(6, 2);
-  for (int k = 1; k <= 10; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 10; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   for (ProcessId pid = 0; pid < 6; ++pid) {
     const auto& proc = group.net().process_as<TwoBitProcess>(pid);
@@ -220,7 +220,7 @@ TEST(TwoBitProcessLevel, LocalMemoryGrowsWithWrites) {
   auto group = make_group(3, 1);
   const auto& proc = group.net().process_as<TwoBitProcess>(1);
   const auto before = proc.local_memory_bytes();
-  for (int k = 1; k <= 50; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 50; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   const auto after = proc.local_memory_bytes();
   EXPECT_GT(after, before);

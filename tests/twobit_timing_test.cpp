@@ -28,7 +28,7 @@ TEST(TwoBitTiming, WriteTakesExactlyTwoDelta) {
   for (const std::uint32_t n : {3u, 5u, 9u}) {
     auto group = make_group(n, (n - 1) / 2);
     for (int k = 1; k <= 5; ++k) {
-      const Tick latency = group.write(Value::from_int64(k));
+      const Tick latency = group.client().write_sync(Value::from_int64(k)).latency;
       EXPECT_EQ(latency, 2 * kDelta) << "n=" << n << " write#" << k;
       group.settle();
     }
@@ -40,7 +40,7 @@ TEST(TwoBitTiming, WritePipelineWithoutSettleStaysTwoDelta) {
   // quorum echo is the first-hop response of the previous dissemination.
   auto group = make_group(5, 2);
   for (int k = 1; k <= 10; ++k) {
-    EXPECT_EQ(group.write(Value::from_int64(k)), 2 * kDelta);
+    EXPECT_EQ(group.client().write_sync(Value::from_int64(k)).latency, 2 * kDelta);
   }
 }
 
@@ -48,9 +48,9 @@ TEST(TwoBitTiming, SteadyStateReadTakesTwoDelta) {
   // With no write in flight, the responder freshness check passes
   // immediately and stage 2 is already satisfied: READ + PROCEED = 2Δ.
   auto group = make_group(5, 2);
-  group.write(Value::from_int64(1));
+  group.client().write_sync(Value::from_int64(1));
   group.settle();
-  const auto out = group.read(3);
+  const auto out = group.client().read_sync(3);
   EXPECT_EQ(out.latency, 2 * kDelta);
 }
 
@@ -61,7 +61,7 @@ TEST(TwoBitTiming, ReadNeverExceedsFourDeltaAcrossAllPhaseOffsets) {
   for (const std::uint32_t n : {3u, 5u, 7u}) {
     for (Tick offset = 0; offset <= 2 * kDelta; offset += kDelta / 4) {
       auto group = make_group(n, (n - 1) / 2);
-      group.write(Value::from_int64(1));
+      group.client().write_sync(Value::from_int64(1));
       group.settle();
 
       bool write_done = false;
@@ -96,7 +96,7 @@ TEST(TwoBitTiming, EqualDelaysWorstCaseReadIsThreeDelta) {
   Tick worst = 0;
   for (Tick offset = 0; offset <= 2 * kDelta; offset += 50) {
     auto g2 = make_group(3, 1);
-    g2.write(Value::from_int64(1));
+    g2.client().write_sync(Value::from_int64(1));
     g2.settle();
     Tick latency = 0;
     bool done = false;
@@ -175,7 +175,7 @@ TEST(TwoBitTiming, ReadConcurrentWithWriteReturnsOldOrNew) {
   // At any alignment the read must return value 1 or 2, never anything else.
   for (Tick offset = 0; offset <= 2 * kDelta; offset += 250) {
     auto group = make_group(5, 2);
-    group.write(Value::from_int64(1));
+    group.client().write_sync(Value::from_int64(1));
     group.settle();
     std::int64_t seen = -1;
     const Tick base = group.net().now();
@@ -199,7 +199,7 @@ TEST(TwoBitTiming, CrashDoesNotSlowWriteBeyondTwoDelta) {
   group.crash(3);
   group.crash(4);
   for (int k = 1; k <= 3; ++k) {
-    EXPECT_EQ(group.write(Value::from_int64(k)), 2 * kDelta);
+    EXPECT_EQ(group.client().write_sync(Value::from_int64(k)).latency, 2 * kDelta);
     group.settle();
   }
 }
@@ -215,9 +215,9 @@ TEST(TwoBitTiming, StragglerDoesNotDelayQuorumOps) {
   opt.algo = Algorithm::kTwoBit;
   opt.delay = make_straggler_delay(4, /*slow=*/50 * kDelta, /*fast=*/kDelta);
   SimRegisterGroup group(std::move(opt));
-  const Tick w = group.write(Value::from_int64(1));
+  const Tick w = group.client().write_sync(Value::from_int64(1)).latency;
   EXPECT_EQ(w, 2 * kDelta);
-  const auto r = group.read(1);
+  const auto r = group.client().read_sync(1);
   EXPECT_EQ(r.value.to_int64(), 1);
   EXPECT_LE(r.latency, 4 * kDelta);
 }

@@ -35,26 +35,26 @@ TEST(TwoBitWindow, GenerousWindowBehavesFaithfully) {
   // Window far larger than any lag: identical behaviour, zero skipped
   // catch-ups, full liveness.
   auto group = make_windowed(5, 100, make_constant_delay(kDelta));
-  for (int k = 1; k <= 40; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 40; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   for (ProcessId pid = 0; pid < 5; ++pid) {
     const auto& p = group.net().process_as<TwoBitProcess>(pid);
     EXPECT_EQ(p.wsync(pid), 40);
     EXPECT_EQ(p.skipped_catchups(), 0u);
   }
-  EXPECT_EQ(group.read(3).value.to_int64(), 40);
+  EXPECT_EQ(group.client().read_sync(3).value.to_int64(), 40);
 }
 
 TEST(TwoBitWindow, WindowBoundsResidentHistory) {
   auto group = make_windowed(3, 4, make_constant_delay(kDelta));
-  for (int k = 1; k <= 20; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 20; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   const auto& writer = group.net().process_as<TwoBitProcess>(0);
   EXPECT_EQ(writer.history().size(), 4u);
   EXPECT_EQ(writer.history_base(), 17);  // retains indices 17..20
   EXPECT_EQ(writer.evicted_count(), 17u);
   // Reads still serve the newest value.
-  EXPECT_EQ(group.read(1).value.to_int64(), 20);
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 20);
 }
 
 TEST(TwoBitWindow, WindowCapsLocalMemory) {
@@ -69,8 +69,8 @@ TEST(TwoBitWindow, WindowCapsLocalMemory) {
   SimRegisterGroup faithful(std::move(faithful_opt));
 
   for (int k = 1; k <= 200; ++k) {
-    bounded.write(Value::from_int64(k));
-    faithful.write(Value::from_int64(k));
+    bounded.client().write_sync(Value::from_int64(k));
+    faithful.client().write_sync(Value::from_int64(k));
   }
   bounded.settle();
   faithful.settle();
@@ -85,7 +85,7 @@ TEST(TwoBitWindow, StraggledProcessStallsForever) {
   // (Lemma 6/9 break) while everyone else completes.
   auto group = make_windowed(
       5, 4, make_straggler_delay(4, 32 * kDelta, kDelta));
-  for (int k = 1; k <= 30; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 30; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
 
   const auto& straggler = group.net().process_as<TwoBitProcess>(4);
@@ -98,7 +98,7 @@ TEST(TwoBitWindow, StraggledProcessStallsForever) {
   EXPECT_GT(skipped, 0u) << "eviction must have bitten at least once";
 
   // Fresh processes still read fine (liveness only dies for the laggard)...
-  EXPECT_EQ(group.read(1).value.to_int64(), 30);
+  EXPECT_EQ(group.client().read_sync(1).value.to_int64(), 30);
 
   // ...but a read at the straggler cannot terminate: responders wait
   // forever for freshness the straggler can never reach.
@@ -176,7 +176,7 @@ TEST(TwoBitWindow, SafetyHoldsEvenWhenLivenessDies) {
 
 TEST(TwoBitWindow, FaithfulModeNeverEvicts) {
   auto group = make_windowed(3, 0, make_constant_delay(kDelta));  // window 0
-  for (int k = 1; k <= 50; ++k) group.write(Value::from_int64(k));
+  for (int k = 1; k <= 50; ++k) group.client().write_sync(Value::from_int64(k));
   group.settle();
   const auto& p = group.net().process_as<TwoBitProcess>(1);
   EXPECT_EQ(p.evicted_count(), 0u);

@@ -131,7 +131,7 @@ TEST(SimWorkloadTest, ZeroOpsDrainsImmediately) {
 
 // ---- SimRegisterGroup facade edge cases ------------------------------------------
 
-TEST(SimRegisterGroupTest, WriteOnCrashedWriterThrows) {
+TEST(SimRegisterGroupTest, WriteOnCrashedWriterReportsCrashed) {
   SimRegisterGroup::Options opt;
   opt.cfg.n = 3;
   opt.cfg.t = 1;
@@ -139,10 +139,11 @@ TEST(SimRegisterGroupTest, WriteOnCrashedWriterThrows) {
   opt.cfg.initial = Value::from_int64(0);
   SimRegisterGroup group(std::move(opt));
   group.crash(0);
-  EXPECT_THROW((void)group.write(Value::from_int64(1)), ContractViolation);
+  EXPECT_EQ(group.client().write_sync(Value::from_int64(1)).status.code(),
+            StatusCode::kCrashed);
 }
 
-TEST(SimRegisterGroupTest, ReadOnCrashedReaderThrows) {
+TEST(SimRegisterGroupTest, ReadOnCrashedReaderReportsCrashed) {
   SimRegisterGroup::Options opt;
   opt.cfg.n = 3;
   opt.cfg.t = 1;
@@ -150,12 +151,12 @@ TEST(SimRegisterGroupTest, ReadOnCrashedReaderThrows) {
   opt.cfg.initial = Value::from_int64(0);
   SimRegisterGroup group(std::move(opt));
   group.crash(2);
-  EXPECT_THROW((void)group.read(2), ContractViolation);
+  EXPECT_EQ(group.client().read_sync(2).status.code(), StatusCode::kCrashed);
 }
 
 TEST(SimRegisterGroupTest, WriteBlockedByMajorityCrashFailsLoudly) {
-  // With more than t crashes the quorum is unreachable: the blocking write
-  // must fail by contract, not hang (the sim drains and reports).
+  // With more than t crashes the quorum is unreachable: the write must
+  // fail by Status, not hang (the sim drains and reports liveness loss).
   SimRegisterGroup::Options opt;
   opt.cfg.n = 3;
   opt.cfg.t = 1;
@@ -164,7 +165,8 @@ TEST(SimRegisterGroupTest, WriteBlockedByMajorityCrashFailsLoudly) {
   SimRegisterGroup group(std::move(opt));
   group.crash(1);
   group.crash(2);  // beyond t: model violated on purpose
-  EXPECT_THROW((void)group.write(Value::from_int64(1)), ContractViolation);
+  EXPECT_EQ(group.client().write_sync(Value::from_int64(1)).status.code(),
+            StatusCode::kLivenessLost);
 }
 
 }  // namespace

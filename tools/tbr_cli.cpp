@@ -186,13 +186,13 @@ int cmd_trace(FlagParser& flags) {
   const auto writes = flags.get_int("writes");
   const auto reads = flags.get_int("reads");
   for (std::int64_t k = 1; k <= writes; ++k) {
-    group.write(Value::from_int64(k * 10));
+    group.client().write_sync(Value::from_int64(k * 10));
     group.settle();
   }
   for (std::int64_t r = 0; r < reads; ++r) {
-    const auto out =
-        group.read(static_cast<ProcessId>((r + 1) % cfg.n));
-    std::cout << "read -> value #" << out.index << " ("
+    const OpResult out =
+        group.client().read_sync(static_cast<ProcessId>((r + 1) % cfg.n));
+    std::cout << "read -> value #" << out.version << " ("
               << out.value.debug_string() << ")\n";
     group.settle();
   }
