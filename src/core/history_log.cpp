@@ -1,0 +1,117 @@
+#include "core/history_log.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+BoundedHistoryLog::BoundedHistoryLog(Value initial) {
+  ring_.resize(2);
+  mask_ = ring_.size() - 1;
+  ensure_segment_for(0);
+  slot(0) = std::move(initial);
+  payload_bytes_ = slot(0).size();
+}
+
+BoundedHistoryLog::Segment& BoundedHistoryLog::segment(SeqNo idx) {
+  auto& seg = ring_[static_cast<std::size_t>(seg_no(idx)) & mask_];
+  TBR_ENSURE(seg != nullptr, "history segment missing for retained index");
+  return *seg;
+}
+
+const BoundedHistoryLog::Segment& BoundedHistoryLog::segment(
+    SeqNo idx) const {
+  const auto& seg = ring_[static_cast<std::size_t>(seg_no(idx)) & mask_];
+  TBR_ENSURE(seg != nullptr, "history segment missing for retained index");
+  return *seg;
+}
+
+Value& BoundedHistoryLog::slot(SeqNo idx) {
+  return segment(idx).slots[static_cast<std::size_t>(idx) % kSegmentSlots];
+}
+
+const Value& BoundedHistoryLog::at(SeqNo idx) const {
+  TBR_ENSURE(has(idx), "history index superseded or out of range");
+  return segment(idx).slots[static_cast<std::size_t>(idx) % kSegmentSlots];
+}
+
+void BoundedHistoryLog::grow_ring() {
+  std::vector<std::unique_ptr<Segment>> next(ring_.size() * 2);
+  const std::size_t next_mask = next.size() - 1;
+  for (SeqNo s = seg_no(base_); s <= seg_no(head_); ++s) {
+    next[static_cast<std::size_t>(s) & next_mask] =
+        std::move(ring_[static_cast<std::size_t>(s) & mask_]);
+  }
+  ring_ = std::move(next);
+  mask_ = next_mask;
+}
+
+void BoundedHistoryLog::ensure_segment_for(SeqNo idx) {
+  const SeqNo s = seg_no(idx);
+  // Contiguity check: does the ring have room for one more segment?
+  if (allocated_segments_ > 0 && s > seg_no(head_)) {
+    const SeqNo active = seg_no(head_) - seg_no(base_) + 1;
+    if (static_cast<std::size_t>(active) + 1 > ring_.size()) grow_ring();
+  }
+  auto& cell = ring_[static_cast<std::size_t>(s) & mask_];
+  if (cell != nullptr) return;  // idx extends the segment already in place
+  if (!freelist_.empty()) {
+    cell = std::move(freelist_.back());
+    freelist_.pop_back();
+  } else {
+    cell = std::make_unique<Segment>();
+    ++allocated_segments_;
+  }
+}
+
+void BoundedHistoryLog::recycle_segment(SeqNo seg) {
+  auto& cell = ring_[static_cast<std::size_t>(seg) & mask_];
+  TBR_ENSURE(cell != nullptr, "recycling an absent segment");
+  freelist_.push_back(std::move(cell));
+}
+
+void BoundedHistoryLog::append(const Value& v) {
+  const SeqNo idx = head_ + 1;
+  ensure_segment_for(idx);
+  head_ = idx;
+  Value& s = slot(idx);
+  s = v;  // copy-assign: reuses the recycled slot's capacity
+  payload_bytes_ += s.size();
+}
+
+void BoundedHistoryLog::append(Value&& v) {
+  const SeqNo idx = head_ + 1;
+  ensure_segment_for(idx);
+  head_ = idx;
+  Value& s = slot(idx);
+  s = std::move(v);
+  payload_bytes_ += s.size();
+}
+
+std::uint64_t BoundedHistoryLog::advance_checkpoint(SeqNo to) {
+  TBR_ENSURE(to >= base_ && to <= head_,
+             "checkpoint must advance within the retained range");
+  const std::uint64_t reclaimed = static_cast<std::uint64_t>(to - base_);
+  for (SeqNo idx = base_; idx < to; ++idx) {
+    payload_bytes_ -= at(idx).size();
+    // Leaving the last slot of a segment: the whole segment is superseded.
+    if (static_cast<std::size_t>(idx) % kSegmentSlots == kSegmentSlots - 1) {
+      recycle_segment(seg_no(idx));
+    }
+  }
+  base_ = to;
+  return reclaimed;
+}
+
+void BoundedHistoryLog::reset_to_checkpoint(SeqNo idx, const Value& v) {
+  TBR_ENSURE(idx >= 0, "checkpoint index must be a history index");
+  for (SeqNo s = seg_no(base_); s <= seg_no(head_); ++s) recycle_segment(s);
+  base_ = head_ = idx;
+  ensure_segment_for(idx);
+  Value& s = slot(idx);
+  s = v;
+  payload_bytes_ = s.size();
+}
+
+}  // namespace tbr

@@ -4,6 +4,20 @@
 
 namespace tbr {
 
+namespace {
+// The cross-process lemmas quantify over executions of the *published*
+// protocol. A crash-rejoin (recover_via_catchup) replaces a process with a
+// fresh incarnation and resets the channels touching it: counters restart
+// from checkpoint indices, and the server's optimistic w_sync entry for the
+// rejoiner is a claim, not knowledge. Pairwise checks therefore skip pairs
+// involving a rejoined process; everything single-process (Lemma 3, the
+// base-aware Lemma 4) still holds and stays checked for everyone.
+bool pair_relaxed(const std::vector<const TwoBitProcess*>& ps, ProcessId i,
+                  ProcessId j) {
+  return ps[i]->has_recovered() || ps[j]->has_recovered();
+}
+}  // namespace
+
 TwoBitInvariantObserver::TwoBitInvariantObserver(GroupConfig cfg)
     : cfg_(std::move(cfg)) {
   cfg_.validate();
@@ -20,7 +34,7 @@ void TwoBitInvariantObserver::operator()(SimNetwork& net) {
   check_lemmas_2_3(ps);
   check_lemma4_prefix(ps);
   check_lemma5_counters(ps);
-  check_p1_channels(net);
+  check_p1_channels(net, ps);
   check_p2_pairwise(ps);
   ++checks_run_;
 }
@@ -36,7 +50,7 @@ void TwoBitInvariantObserver::check_lemma1_steps(
   for (ProcessId i = 0; i < cfg_.n; ++i) {
     for (ProcessId j = 0; j < cfg_.n; ++j) {
       const SeqNo cur = ps[i]->wsync(j);
-      if (has_prev_) {
+      if (has_prev_ && !pair_relaxed(ps, i, j)) {
         const SeqNo old = prev_wsync_[i][j];
         TBR_INVARIANT(cur >= old, "Lemma 1: w_sync never decreases");
       }
@@ -52,9 +66,14 @@ void TwoBitInvariantObserver::check_lemmas_2_3(
     SeqNo row_max = 0;
     for (ProcessId j = 0; j < cfg_.n; ++j) {
       row_max = std::max(row_max, ps[i]->wsync(j));
-      TBR_INVARIANT(ps[i]->wsync(i) >= ps[j]->wsync(i),
-                    "Lemma 2: w_sync_i[i] >= w_sync_j[i]");
+      if (!pair_relaxed(ps, i, j)) {
+        TBR_INVARIANT(ps[i]->wsync(i) >= ps[j]->wsync(i),
+                      "Lemma 2: w_sync_i[i] >= w_sync_j[i]");
+      }
     }
+    // Lemma 3 survives rejoin: a server's optimistic entry for a rejoiner
+    // equals its own head, and a rejoiner adopts before it records larger
+    // peer checkpoints, so the diagonal still dominates the row.
     TBR_INVARIANT(ps[i]->wsync(i) == row_max,
                   "Lemma 3: w_sync_i[i] is the row maximum");
   }
@@ -62,17 +81,28 @@ void TwoBitInvariantObserver::check_lemmas_2_3(
 
 void TwoBitInvariantObserver::check_lemma4_prefix(
     const std::vector<const TwoBitProcess*>& ps) {
-  const auto& writer_hist = ps[cfg_.writer]->history();
+  // Base-aware form: every process retains the index range
+  // [history_base, w_sync_i[i]] and agrees with the writer wherever the two
+  // retained ranges overlap. With GC/checkpoints off, bases are 0 and this
+  // is the paper's literal prefix property.
+  const auto writer_hist = ps[cfg_.writer]->history();
+  const SeqNo writer_base = ps[cfg_.writer]->history_base();
+  const SeqNo writer_head =
+      writer_base + static_cast<SeqNo>(writer_hist.size()) - 1;
   for (ProcessId i = 0; i < cfg_.n; ++i) {
-    const auto& hist = ps[i]->history();
-    TBR_INVARIANT(
-        static_cast<SeqNo>(hist.size()) == ps[i]->wsync(i) + 1,
-        "history length tracks w_sync_i[i]");
-    TBR_INVARIANT(hist.size() <= writer_hist.size(),
+    const auto hist = ps[i]->history();
+    const SeqNo base = ps[i]->history_base();
+    const SeqNo head = base + static_cast<SeqNo>(hist.size()) - 1;
+    TBR_INVARIANT(head == ps[i]->wsync(i),
+                  "history head tracks w_sync_i[i]");
+    TBR_INVARIANT(head <= writer_head,
                   "Lemma 4: no history outruns the writer's");
-    for (std::size_t x = 0; x < hist.size(); ++x) {
-      TBR_INVARIANT(hist[x] == writer_hist[x],
-                    "Lemma 4: local histories are prefixes of the writer's");
+    const SeqNo lo = std::max(base, writer_base);
+    for (SeqNo idx = lo; idx <= std::min(head, writer_head); ++idx) {
+      TBR_INVARIANT(
+          hist[static_cast<std::size_t>(idx - base)] ==
+              writer_hist[static_cast<std::size_t>(idx - writer_base)],
+          "Lemma 4: local histories agree with the writer's");
     }
   }
 }
@@ -84,7 +114,7 @@ void TwoBitInvariantObserver::check_lemma5_counters(
   for (ProcessId i = 0; i < cfg_.n; ++i) {
     if (ps[i]->crashed()) continue;  // the lemma quantifies over correct i
     for (ProcessId j = 0; j < cfg_.n; ++j) {
-      if (j == i) continue;
+      if (j == i || pair_relaxed(ps, i, j)) continue;
       const SeqNo x = ps[i]->wsync(j);
       const SeqNo sent = ps[i]->write_frames_sent_to(j);
       if (ps[i]->wsync(i) == x) {
@@ -96,10 +126,11 @@ void TwoBitInvariantObserver::check_lemma5_counters(
   }
 }
 
-void TwoBitInvariantObserver::check_p1_channels(SimNetwork& net) {
+void TwoBitInvariantObserver::check_p1_channels(
+    SimNetwork& net, const std::vector<const TwoBitProcess*>& ps) {
   for (ProcessId i = 0; i < cfg_.n; ++i) {
     for (ProcessId j = 0; j < cfg_.n; ++j) {
-      if (i == j) continue;
+      if (i == j || pair_relaxed(ps, i, j)) continue;
       std::vector<SeqNo> write_indices;
       for (const auto& f : net.in_flight_between(i, j)) {
         if (f.type <= 1) write_indices.push_back(f.debug_index);
@@ -120,6 +151,7 @@ void TwoBitInvariantObserver::check_p2_pairwise(
     const std::vector<const TwoBitProcess*>& ps) {
   for (ProcessId i = 0; i < cfg_.n; ++i) {
     for (ProcessId j = i + 1; j < cfg_.n; ++j) {
+      if (pair_relaxed(ps, i, j)) continue;
       const SeqNo a = ps[i]->wsync(j);
       const SeqNo b = ps[j]->wsync(i);
       TBR_INVARIANT(std::llabs(a - b) <= 1,

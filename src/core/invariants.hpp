@@ -34,7 +34,8 @@ class TwoBitInvariantObserver {
   void check_lemmas_2_3(const std::vector<const TwoBitProcess*>& ps);
   void check_lemma4_prefix(const std::vector<const TwoBitProcess*>& ps);
   void check_lemma5_counters(const std::vector<const TwoBitProcess*>& ps);
-  void check_p1_channels(SimNetwork& net);
+  void check_p1_channels(SimNetwork& net,
+                         const std::vector<const TwoBitProcess*>& ps);
   void check_p2_pairwise(const std::vector<const TwoBitProcess*>& ps);
 
   GroupConfig cfg_;

@@ -8,18 +8,30 @@
 // control-bit accounting counts the 2 meaningful bits, exactly the quantity
 // the paper compares in Table 1 line 3 (the 6 padding bits are an artifact
 // of byte framing, not protocol information).
+//
+// The bounded-memory extension (Imbs–Mostéfaoui–Perrin–Raynal-style acked
+// prefixes; see README "Bounded memory & recovery") adds three frames
+// *outside* the paper's protocol: ACK (prefix acknowledgement), CHECKPOINT
+// (index + value superseding a prefix) and CATCHUP (rejoin request). These
+// carry an explicit 64-bit index and are accounted honestly as 2 + 64
+// control bits — the paper's 2-bit claim covers exactly the Fig. 1 frames,
+// which remain byte-identical.
 #pragma once
 
 #include "net/codec.hpp"
 
 namespace tbr {
 
-/// The four message types of Fig. 1. WRITE parity = (type & 1).
+/// The four message types of Fig. 1 (WRITE parity = type & 1), plus the
+/// bounded-memory extension frames. Type 7 stays invalid.
 enum class TwoBitType : std::uint8_t {
   kWrite0 = 0,
   kWrite1 = 1,
   kRead = 2,
   kProceed = 3,
+  kAck = 4,        // seq = highest history index the sender has applied
+  kCheckpoint = 5, // seq = checkpoint index, value = history[seq]
+  kCatchUp = 6,    // rejoin request: "send me your checkpoint"
 };
 
 class TwoBitCodec final : public Codec {
@@ -30,6 +42,8 @@ class TwoBitCodec final : public Codec {
   std::string type_name(std::uint8_t type) const override;
 
   static constexpr std::uint64_t kControlBitsPerMessage = 2;
+  /// Extra control bits of the extension frames carrying an index.
+  static constexpr std::uint64_t kIndexBits = 64;
 };
 
 /// Shared immutable codec instance.

@@ -9,38 +9,94 @@ TwoBitProcess::TwoBitProcess(GroupConfig cfg, ProcessId self,
                              TwoBitOptions options)
     : RegisterProcessBase(std::move(cfg), self),
       options_(options),
-      history_{cfg_.initial},                 // history_i[0] <- v0
+      log_(cfg_.initial),                     // history_i[0] <- v0
       w_sync_(cfg_.n, 0),                     // w_sync_i[1..n] <- [0..0]
       r_sync_(cfg_.n, 0),                     // r_sync_i[1..n] <- [0..0]
+      acked_(cfg_.n, 0),
+      wsync_confirmed_(cfg_.n, 1),
+      channel_ready_(cfg_.n, 1),
+      deferred_reads_(cfg_.n, 0),
       parked_write_(cfg_.n),
       parked_reads_(cfg_.n),
-      write_frames_sent_(cfg_.n, 0) {}
+      write_frames_sent_(cfg_.n, 0) {
+  TBR_ENSURE(!(options_.bounded_history && options_.history_window > 0),
+             "bounded_history and the window ablation are mutually exclusive");
+  TBR_ENSURE(!(options_.recover_via_catchup && options_.history_window > 0),
+             "crash-rejoin is not defined for the lossy window ablation");
+  TBR_ENSURE(!options_.recover_via_catchup || self_ != cfg_.writer,
+             "the single writer cannot rejoin via catch-up (needs a "
+             "write-quorum handshake this implementation does not provide)");
+}
 
-// ---- history storage (unbounded by default; windowed for the ablation) ----
+void TwoBitProcess::on_start(NetworkContext& net) {
+  if (!options_.recover_via_catchup) return;
+  // Crash-rejoin: announce the reboot. Peers reset their channel to us and
+  // answer CHECKPOINT; until a quorum of n-t distinct peers has answered we
+  // are "recovering": client operations are deferred and inbound READs are
+  // parked, because an amnesiac responder could otherwise certify freshness
+  // below a prefix its previous incarnation acknowledged (the quorum makes
+  // the adopted maximum dominate every prefix the old incarnation could
+  // have contributed to — two n-t quorums over our n-1 peers intersect).
+  recovering_ = true;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) channel_ready_[j] = 0;
+  }
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) send_control_frame(net, j, TwoBitType::kCatchUp);
+  }
+}
+
+// ---- history storage -------------------------------------------------------
 
 void TwoBitProcess::append_history(Value v) {
-  history_.push_back(std::move(v));
+  log_.append(std::move(v));
   if (options_.history_window > 0) {
-    while (history_.size() > options_.history_window) {
-      history_.pop_front();
-      ++history_base_;
+    while (log_.size() > options_.history_window) {
+      log_.evict_front();
       ++evicted_;
     }
   }
 }
 
-bool TwoBitProcess::history_has(SeqNo idx) const {
-  return idx >= history_base_ &&
-         idx < history_base_ + static_cast<SeqNo>(history_.size());
+bool TwoBitProcess::history_has(SeqNo idx) const { return log_.has(idx); }
+
+const Value& TwoBitProcess::history_at(SeqNo idx) const { return log_.at(idx); }
+
+SeqNo TwoBitProcess::history_head() const { return log_.head(); }
+
+// ---- the acked-prefix watermark and GC -------------------------------------
+
+SeqNo TwoBitProcess::known(ProcessId j) const {
+  if (j == self_) return w_sync_[self_];
+  // An unconfirmed w_sync entry is our own optimistic claim (set when we
+  // served this peer's catch-up); only an explicit ACK or genuine channel
+  // traffic from the peer may back freshness or quorum decisions.
+  return wsync_confirmed_[j] ? std::max(w_sync_[j], acked_[j]) : acked_[j];
 }
 
-const Value& TwoBitProcess::history_at(SeqNo idx) const {
-  TBR_ENSURE(history_has(idx), "history index evicted or out of range");
-  return history_[static_cast<std::size_t>(idx - history_base_)];
+void TwoBitProcess::maybe_gc() {
+  if (!options_.bounded_history) return;
+  SeqNo watermark = w_sync_[self_];
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) watermark = std::min(watermark, known(j));
+  }
+  // A pending read's freshness index pins its value until line 10 returns.
+  if (pending_read_.has_value() &&
+      pending_read_->stage == ReadStage::kAwaitWsync) {
+    watermark = std::min(watermark, pending_read_->sn);
+  }
+  if (watermark > log_.base()) {
+    gc_reclaimed_ += log_.advance_checkpoint(watermark);
+  }
 }
 
-SeqNo TwoBitProcess::history_head() const {
-  return history_base_ + static_cast<SeqNo>(history_.size()) - 1;
+void TwoBitProcess::maybe_send_acks(NetworkContext& net) {
+  if (!acks_enabled() || recovering_) return;
+  if (w_sync_[self_] < last_ack_sent_ + options_.ack_interval) return;
+  last_ack_sent_ = w_sync_[self_];
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) send_index_frame(net, j, TwoBitType::kAck, last_ack_sent_);
+  }
 }
 
 // ---- operation write() — Fig. 1 lines 1-4 ---------------------------------
@@ -57,9 +113,15 @@ void TwoBitProcess::start_write(NetworkContext& net, Value v, WriteDone done) {
   TBR_ENSURE(history_head() == wsn, "history head tracks w_sync[self]");
 
   // line 2: send WRITE(b, v) to every j with w_sync[j] = wsn-1.
-  // (self is excluded naturally: w_sync[self] = wsn.)
+  // (self is excluded naturally: w_sync[self] = wsn.) Channels reset by a
+  // rejoin stay silent until the peer confirms the checkpoint: a WRITE
+  // racing the CHECKPOINT would be dropped by the rejoiner's gate with
+  // nobody left to retransmit it (the ACK-confirmation path serves the
+  // catch-up instead).
   for (ProcessId j = 0; j < cfg_.n; ++j) {
-    if (w_sync_[j] == wsn - 1) send_write_frame(net, j, wsn);
+    if (w_sync_[j] == wsn - 1 && wsync_confirmed_[j]) {
+      send_write_frame(net, j, wsn);
+    }
   }
 
   // line 3: wait until >= n-t processes j have w_sync[j] = wsn.
@@ -81,19 +143,30 @@ void TwoBitProcess::start_read(NetworkContext& net, ReadDone done) {
     return;
   }
 
+  if (recovering_) {
+    // Rejoin in progress: accept the operation but defer lines 5-6 until a
+    // checkpoint quorum has restored our state.
+    pending_read_ = PendingRead{0, ReadStage::kDeferred, -1, std::move(done)};
+    return;
+  }
+
+  pending_read_ = PendingRead{0, ReadStage::kDeferred, -1, std::move(done)};
+  issue_read_round(net);
+  after_state_change(net);
+}
+
+void TwoBitProcess::issue_read_round(NetworkContext& net) {
+  TBR_ENSURE(pending_read_.has_value(), "no read to issue");
   // line 5: rsn <- r_sync[i]+1; r_sync[i] <- rsn
   const SeqNo rsn = r_sync_[self_] + 1;
   r_sync_[self_] = rsn;
-
+  pending_read_->rsn = rsn;
+  pending_read_->stage = ReadStage::kAwaitProceeds;
+  pending_read_->sn = -1;
   // line 6: send READ() to every other process.
   for (ProcessId j = 0; j < cfg_.n; ++j) {
     if (j != self_) send_control_frame(net, j, TwoBitType::kRead);
   }
-
-  // lines 7-10 happen in check_pending_ops as the quorums fill.
-  pending_read_ = PendingRead{rsn, ReadStage::kAwaitProceeds, -1,
-                              std::move(done)};
-  after_state_change(net);
 }
 
 // ---- message dispatch ------------------------------------------------------
@@ -106,13 +179,31 @@ void TwoBitProcess::on_message(NetworkContext& net, ProcessId from,
     case TwoBitType::kWrite0:
     case TwoBitType::kWrite1:
       TBR_ENSURE(msg.has_value, "WRITE frame without value");
+      // A channel reset by our own rejoin replays nothing: frames that left
+      // the peer before it processed our CATCHUP are not part of the reset
+      // era and are dropped (the peer's fence makes this window finite).
+      if (!channel_ready_[from]) return;
       on_write(net, from, static_cast<std::uint8_t>(msg.type & 1), msg.value);
       break;
     case TwoBitType::kRead:
+      if (recovering_) {
+        ++deferred_reads_[from];  // answered once our state is restored
+        return;
+      }
       on_read(net, from);
       break;
     case TwoBitType::kProceed:
       on_proceed(net, from);
+      break;
+    case TwoBitType::kAck:
+      on_ack(net, from, msg.seq);
+      break;
+    case TwoBitType::kCheckpoint:
+      TBR_ENSURE(msg.has_value, "CHECKPOINT frame without value");
+      on_checkpoint(net, from, msg.seq, msg.value);
+      break;
+    case TwoBitType::kCatchUp:
+      on_catchup(net, from);
       break;
     default:
       TBR_ENSURE(false, "unknown two-bit frame type");
@@ -144,6 +235,9 @@ void TwoBitProcess::process_write(NetworkContext& net, ProcessId from,
   const SeqNo wsn = w_sync_[from] + 1;
   TBR_ENSURE(parity == static_cast<std::uint8_t>(wsn % 2),
              "parity/wsn mismatch");
+  // A genuine frame from j proves j applied wsn-1 and stored wsn: the
+  // channel (possibly reset by a rejoin) is trustworthy again.
+  wsync_confirmed_[from] = 1;
 
   if (wsn == w_sync_[self_] + 1) {
     // lines 13-15: the next value of our own history — adopt and forward to
@@ -154,6 +248,14 @@ void TwoBitProcess::process_write(NetworkContext& net, ProcessId from,
     append_history(v);
     TBR_ENSURE(history_head() == wsn, "history head tracks w_sync[self]");
     for (ProcessId l = 0; l < cfg_.n; ++l) {
+      // Channels mid-rejoin-handshake are mute in both roles. As the
+      // rejoiner (channel_ready off): an echo before the peer's CHECKPOINT
+      // arrives would alias as a fabricated higher index under the
+      // two-bit parity encoding, because the peer's optimistic w_sync
+      // entry assumes our WRITEs continue from its checkpoint. As the
+      // server (wsync_confirmed off): a WRITE racing our CHECKPOINT would
+      // be dropped by the rejoiner's gate with nobody retransmitting.
+      if (!channel_ready_[l] || !wsync_confirmed_[l]) continue;
       if (w_sync_[l] == wsn - 1) send_write_frame(net, l, wsn);
     }
     // line 18: j has now sent us wsn WRITE frames.
@@ -163,10 +265,35 @@ void TwoBitProcess::process_write(NetworkContext& net, ProcessId from,
     // depends on w_sync[from], and updating first keeps the send-side
     // ping-pong invariant (w_sync[to] = index-1 at every send) intact.
     w_sync_[from] = wsn;
+    // After a channel restart the peer may have learned values through a
+    // third party that this channel never carried, leaving the send counter
+    // behind its position; realign so the alternating-bit discipline
+    // resumes from the peer's actual prefix. Unreachable in faithful mode
+    // (Lemma 5 keeps the counter at wsn or wsn+1 here).
+    if (write_frames_sent_[from] < wsn) {
+      TBR_ENSURE(acks_enabled() || options_.history_window > 0,
+                 "send counter fell behind w_sync on a faithful channel");
+      write_frames_sent_[from] = wsn;
+    }
     if (wsn < w_sync_[self_]) {
       // line 16: the sender lags behind us — return its next value (Rule R2).
       if (history_has(wsn + 1)) {
         send_write_frame(net, from, wsn + 1);
+      } else if (acks_enabled()) {
+        // The value was superseded by our checkpoint. Under acked-prefix GC
+        // that is only possible when the peer itself acknowledged it; after
+        // a rejoin our adopted checkpoint may also skip past a laggard, in
+        // which case a peer that retains the value serves the catch-up.
+        // Either way, skipping the send loses no liveness.
+        TBR_ENSURE(!options_.bounded_history ||
+                       options_.recover_via_catchup ||
+                       wsn + 1 <= acked_[from],
+                   "GC reclaimed a value below the acked watermark");
+        ++superseded_sends_;
+        // Account the suppressed frame: the channel counter must stay
+        // aligned with the ping-pong discipline or the next real WRITE to
+        // this peer would look non-consecutive.
+        write_frames_sent_[from] = std::max(write_frames_sent_[from], wsn + 1);
       } else {
         // Window ablation only: the needed value was evicted; the sender
         // can never be caught up by us. Faithful mode never gets here.
@@ -190,8 +317,10 @@ void TwoBitProcess::on_read(NetworkContext& net, ProcessId from) {
   }
   // line 19: freshness point = our newest value.
   const SeqNo sn = w_sync_[self_];
-  // line 20: wait (w_sync[from] >= sn); line 21: send PROCEED.
-  if (w_sync_[from] >= sn) {
+  // line 20: wait (w_sync[from] >= sn); line 21: send PROCEED. The wait is
+  // on the prefix the reader provably stores — its channel counter or, in
+  // bounded mode, its explicit ACK, whichever is larger.
+  if (known(from) >= sn) {
     send_control_frame(net, from, TwoBitType::kProceed);
   } else {
     // Successive READs from one reader see monotonically non-decreasing
@@ -210,6 +339,124 @@ void TwoBitProcess::on_proceed(NetworkContext& net, ProcessId from) {
   after_state_change(net);
 }
 
+// ---- bounded-memory extension frames ----------------------------------------
+
+void TwoBitProcess::on_ack(NetworkContext& net, ProcessId from, SeqNo upto) {
+  acked_[from] = std::max(acked_[from], upto);
+  // A rejoiner's ACK covering our optimistic entry proves the checkpoint
+  // was adopted: the channel is trustworthy again. The peer never echoes
+  // values it adopted rather than applied, so serve the catch-up here —
+  // Rule R2's job on a channel that exchanged no WRITE frames since the
+  // reset.
+  if (!wsync_confirmed_[from] && acked_[from] >= w_sync_[from]) {
+    wsync_confirmed_[from] = 1;
+    if (acked_[from] > w_sync_[from]) {
+      // The peer adopted a larger checkpoint than ours: resume the channel
+      // from its actual prefix, capped at our own head — the entry tracks
+      // the peer's prefix of OUR history (Lemma 3's row-max shape), and
+      // known() covers the excess through acked_.
+      const SeqNo resume = std::min(acked_[from], w_sync_[self_]);
+      if (resume > w_sync_[from]) {
+        w_sync_[from] = resume;
+        write_frames_sent_[from] = resume;
+      }
+    }
+    if (w_sync_[from] < w_sync_[self_] &&
+        write_frames_sent_[from] == w_sync_[from] &&
+        history_has(w_sync_[from] + 1)) {
+      send_write_frame(net, from, w_sync_[from] + 1);
+    }
+  }
+  maybe_gc();
+  after_state_change(net);  // known(from) grew: waits may release
+}
+
+void TwoBitProcess::on_catchup(NetworkContext& net, ProcessId from) {
+  // `from` rebooted with empty state. Everything we knew about the channel
+  // — and everything still in flight on it — describes a dead incarnation.
+  if (recovering_) return;  // we have nothing to serve yet ourselves
+  ++checkpoints_served_;
+  net.fence_peer(from);
+  parked_write_[from].reset();
+  parked_reads_[from].clear();
+  deferred_reads_[from] = 0;
+  acked_[from] = 0;
+  wsync_confirmed_[from] = 0;
+  channel_ready_[from] = 1;
+  const SeqNo head = w_sync_[self_];
+  // Channel restart: our next WRITE frame to `from` is head+1, and `from`
+  // treats our checkpoint as the channel base, so both counters align.
+  w_sync_[from] = head;
+  write_frames_sent_[from] = head;
+  // Reads: the rejoiner answers every READ we issue from now on. If one is
+  // in flight it never saw, leave the stale counter — it merely excludes
+  // the rejoiner from that one quorum.
+  if (!pending_read_.has_value()) r_sync_[from] = r_sync_[self_];
+  send_index_frame(net, from, TwoBitType::kCheckpoint, head);
+  maybe_gc();  // known(from) collapsed to 0: watermark must not advance past it
+}
+
+void TwoBitProcess::on_checkpoint(NetworkContext& net, ProcessId from,
+                                  SeqNo index, const Value& v) {
+  TBR_ENSURE(options_.recover_via_catchup,
+             "CHECKPOINT delivered to a process that never sent CATCHUP");
+  // Receive-side channel restart, mirroring the server's reset: the
+  // checkpoint index is the channel base and is genuine knowledge of the
+  // server's prefix.
+  if (!channel_ready_[from]) {
+    channel_ready_[from] = 1;
+    ++checkpoint_responses_;
+  }
+  parked_write_[from].reset();
+  w_sync_[from] = index;
+  wsync_confirmed_[from] = 1;
+  write_frames_sent_[from] = index;
+
+  if (index > w_sync_[self_]) {
+    // Adopt: the largest checkpoint seen so far wins.
+    log_.reset_to_checkpoint(index, v);
+    w_sync_[self_] = index;
+    ++checkpoints_adopted_;
+    // A pending read whose freshness index predates the adopted checkpoint
+    // lost its value: rerun lines 5-10 with a fresh rsn (still one client
+    // operation; only the internal round restarts).
+    if (pending_read_.has_value() &&
+        pending_read_->stage == ReadStage::kAwaitWsync &&
+        pending_read_->sn < log_.base()) {
+      issue_read_round(net);
+    }
+  } else {
+    // We already know more than this checkpoint: tell the server, whose
+    // optimistic w_sync entry for us stays untrusted until this ACK lands.
+    send_index_frame(net, from, TwoBitType::kAck, w_sync_[self_]);
+  }
+
+  if (recovering_ && checkpoint_responses_ >= cfg_.quorum()) {
+    // Quorum reached: the adopted maximum dominates every prefix our old
+    // incarnation can have acknowledged. Go live.
+    recovering_ = false;
+    last_ack_sent_ = w_sync_[self_];
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (j != self_) {
+        send_index_frame(net, j, TwoBitType::kAck, last_ack_sent_);
+      }
+    }
+    // Serve the READs parked during recovery at our restored freshness.
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      while (deferred_reads_[j] > 0) {
+        --deferred_reads_[j];
+        on_read(net, j);
+      }
+    }
+    // Issue the client read deferred at start_read, if any.
+    if (pending_read_.has_value() &&
+        pending_read_->stage == ReadStage::kDeferred) {
+      issue_read_round(net);
+    }
+  }
+  after_state_change(net);
+}
+
 // ---- wait re-examination ----------------------------------------------------
 
 void TwoBitProcess::after_state_change(NetworkContext& net) {
@@ -225,6 +472,8 @@ void TwoBitProcess::after_state_change(NetworkContext& net) {
     if (drain_parked_reads(net)) progress = true;
     if (check_pending_ops(net)) progress = true;
   }
+  maybe_send_acks(net);
+  maybe_gc();
   in_after_state_change_ = false;
 }
 
@@ -252,7 +501,7 @@ bool TwoBitProcess::drain_parked_reads(NetworkContext& net) {
   bool any = false;
   for (ProcessId j = 0; j < cfg_.n; ++j) {
     auto& q = parked_reads_[j];
-    while (!q.empty() && w_sync_[j] >= q.front()) {
+    while (!q.empty() && known(j) >= q.front()) {
       q.pop_front();
       send_control_frame(net, j, TwoBitType::kProceed);
       any = true;
@@ -266,9 +515,10 @@ bool TwoBitProcess::check_pending_ops(NetworkContext& net) {
   const auto quorum = cfg_.quorum();
   bool any = false;
 
-  // line 3: z >= n-t processes j with w_sync[j] = wsn.
+  // line 3: z >= n-t processes j with w_sync[j] = wsn. (known(j) never
+  // exceeds wsn here — Lemma 3 — so >= is the same count the paper takes.)
   if (pending_write_.has_value() &&
-      count_wsync_eq(pending_write_->wsn) >= quorum) {
+      count_known_ge(pending_write_->wsn) >= quorum) {
     WriteDone done = std::move(pending_write_->done);
     pending_write_.reset();
     end_operation();
@@ -295,7 +545,7 @@ bool TwoBitProcess::check_pending_ops(NetworkContext& net) {
   }
   if (pending_read_.has_value() &&
       pending_read_->stage == ReadStage::kAwaitWsync &&
-      count_wsync_ge(pending_read_->sn) >= quorum) {
+      count_known_ge(pending_read_->sn) >= quorum) {
     // line 10: return history[sn].
     const SeqNo sn = pending_read_->sn;
     ReadDone done = std::move(pending_read_->done);
@@ -315,10 +565,11 @@ void TwoBitProcess::send_write_frame(NetworkContext& net, ProcessId to,
              "WRITE frame index must reference a retained value");
   if (options_.check_internal_invariants) {
     // Lemma 5 / alternating-bit send discipline: frames to each destination
-    // go out exactly once each, in index order, and only when our view of
-    // the destination is index-1.
+    // go out in index order and only when our view of the destination is
+    // index-1. (After a channel restart the counters resume from the
+    // checkpoint index instead of 0; the discipline itself is unchanged.)
     TBR_INVARIANT(index == write_frames_sent_[to] + 1,
-                  "WRITE frames to a peer must be the sequence 1,2,3,...");
+                  "WRITE frames to a peer must be consecutive");
     TBR_INVARIANT(w_sync_[to] == index - 1,
                   "ping-pong: send index only when w_sync[to] = index-1");
   }
@@ -336,30 +587,41 @@ void TwoBitProcess::send_write_frame(NetworkContext& net, ProcessId to,
 
 void TwoBitProcess::send_control_frame(NetworkContext& net, ProcessId to,
                                        TwoBitType type) {
-  TBR_ENSURE(type == TwoBitType::kRead || type == TwoBitType::kProceed,
-             "control frames are READ/PROCEED");
+  TBR_ENSURE(type == TwoBitType::kRead || type == TwoBitType::kProceed ||
+                 type == TwoBitType::kCatchUp,
+             "control frames are READ/PROCEED/CATCHUP");
   Message msg;
   msg.type = static_cast<std::uint8_t>(type);
   msg.wire = twobit_codec().account(msg);
   net.send(to, msg);
 }
 
-// ---- counting helpers (the paper's z computations) ---------------------------
-
-std::uint32_t TwoBitProcess::count_wsync_eq(SeqNo v) const {
-  std::uint32_t z = 0;
-  for (ProcessId j = 0; j < cfg_.n; ++j) {
-    TBR_INVARIANT(w_sync_[j] <= w_sync_[self_],
-                  "Lemma 3: w_sync[self] dominates the row");
-    if (w_sync_[j] == v) ++z;
+void TwoBitProcess::send_index_frame(NetworkContext& net, ProcessId to,
+                                     TwoBitType type, SeqNo index) {
+  TBR_ENSURE(type == TwoBitType::kAck || type == TwoBitType::kCheckpoint,
+             "index frames are ACK/CHECKPOINT");
+  Message msg;
+  msg.type = static_cast<std::uint8_t>(type);
+  msg.seq = index;
+  if (type == TwoBitType::kCheckpoint) {
+    msg.has_value = true;
+    msg.value = history_at(index);
   }
-  return z;
+  msg.wire = twobit_codec().account(msg);
+  msg.debug_index = index;
+  net.send(to, msg);
 }
 
-std::uint32_t TwoBitProcess::count_wsync_ge(SeqNo v) const {
+// ---- counting helpers (the paper's z computations) ---------------------------
+
+std::uint32_t TwoBitProcess::count_known_ge(SeqNo v) const {
   std::uint32_t z = 0;
   for (ProcessId j = 0; j < cfg_.n; ++j) {
-    if (w_sync_[j] >= v) ++z;
+    if (wsync_confirmed_[j]) {
+      TBR_INVARIANT(w_sync_[j] <= w_sync_[self_],
+                    "Lemma 3: w_sync[self] dominates the row");
+    }
+    if (known(j) >= v) ++z;
   }
   return z;
 }
@@ -378,23 +640,39 @@ std::uint32_t TwoBitProcess::count_rsync_eq(SeqNo v) const {
 
 void TwoBitProcess::on_crash() { crashed_ = true; }
 
-std::uint64_t TwoBitProcess::local_memory_bytes() const {
-  // Live protocol state, the quantity Table 1 line 4 compares. The history
-  // makes it unbounded in the number of writes — the paper's stated cost of
-  // eliminating on-wire sequence numbers.
-  std::uint64_t bytes = 0;
-  for (const auto& v : history_) bytes += 8 + v.size();  // entry + payload
-  bytes += 8ull * w_sync_.size();
-  bytes += 8ull * r_sync_.size();
+TwoBitProcess::MemoryFootprint TwoBitProcess::memory_footprint() const {
+  // Live protocol state, the quantity Table 1 line 4 compares. Faithful
+  // mode makes it unbounded in the number of writes — the paper's stated
+  // cost of eliminating on-wire sequence numbers; bounded mode keeps it
+  // flat at O(window). History is accounted at its structural high-water
+  // mark (slots allocated, active or recycled), which is what makes the
+  // number a *stable* per-process bound rather than a fluctuating gauge.
+  MemoryFootprint f;
+  const auto& cp = log_.checkpoint_value();
+  f.checkpoint_bytes = 16 + cp.size();  // (index, value) record
+  f.history_bytes = log_.memory_bytes() - (8 + cp.size());
+  f.sync_bytes = 8ull * (w_sync_.size() + r_sync_.size() + acked_.size());
   for (const auto& pw : parked_write_) {
-    if (pw.has_value()) bytes += 16 + pw->value.size();
+    if (pw.has_value()) f.parked_bytes += 16 + pw->value.size();
   }
-  for (const auto& q : parked_reads_) bytes += 8ull * q.size();
-  return bytes;
+  for (const auto& q : parked_reads_) f.parked_bytes += 8ull * q.size();
+  f.retained_entries = log_.size();
+  f.total =
+      f.history_bytes + f.checkpoint_bytes + f.sync_bytes + f.parked_bytes;
+  return f;
+}
+
+std::uint64_t TwoBitProcess::local_memory_bytes() const {
+  return memory_footprint().total;
 }
 
 std::vector<Value> TwoBitProcess::history() const {
-  return {history_.begin(), history_.end()};
+  std::vector<Value> out;
+  out.reserve(log_.size());
+  for (SeqNo idx = log_.base(); idx <= log_.head(); ++idx) {
+    out.push_back(log_.at(idx));
+  }
+  return out;
 }
 
 SeqNo TwoBitProcess::wsync(ProcessId j) const {
@@ -405,6 +683,11 @@ SeqNo TwoBitProcess::wsync(ProcessId j) const {
 SeqNo TwoBitProcess::rsync(ProcessId j) const {
   TBR_ENSURE(j < cfg_.n, "pid out of range");
   return r_sync_[j];
+}
+
+SeqNo TwoBitProcess::acked(ProcessId j) const {
+  TBR_ENSURE(j < cfg_.n, "pid out of range");
+  return acked_[j];
 }
 
 SeqNo TwoBitProcess::write_frames_sent_to(ProcessId j) const {

@@ -10,6 +10,21 @@
 //
 // The paper's `wait` statements never block the process: the waited-on work
 // is parked and re-examined after every state change (after_state_change).
+//
+// History lives in a BoundedHistoryLog (core/history_log.hpp). Faithful mode
+// never moves its base, reproducing the paper's unbounded history. The
+// bounded-memory extension (opt-in) adds:
+//   - ACK frames: every ack_interval applied values a process tells its
+//     peers the prefix it stores, feeding acked_[j];
+//   - known(j) = the prefix j provably stores; min over j (clamped by a
+//     pending read's freshness index) is the GC watermark the checkpoint
+//     advances to, reclaiming superseded entries;
+//   - Rule-R2 catch-ups whose value was reclaimed are *skipped*, soundly:
+//     the watermark guarantees the peer already acked that prefix;
+//   - crash-rejoin (recover_via_catchup): a restarted process broadcasts
+//     CATCHUP, peers reset their channel to it and answer CHECKPOINT
+//     (head index + value); the rejoiner adopts the largest checkpoint it
+//     receives and resumes from there instead of replaying from genesis.
 #pragma once
 
 #include <deque>
@@ -17,6 +32,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/history_log.hpp"
 #include "core/twobit_codec.hpp"
 #include "net/register_process.hpp"
 
@@ -35,6 +51,25 @@ struct TwoBitOptions {
   /// stalls forever: Lemma 9's liveness fails exactly where the authors
   /// conjecture it must. Never enable in production use.
   std::size_t history_window = 0;
+
+  /// Bounded history done right: acked-prefix GC. Processes gossip ACK
+  /// frames and advance their checkpoint to the minimum prefix every peer
+  /// provably stores, so resident history is O(lag), liveness is untouched
+  /// (nobody ever needs a reclaimed value), and memory stays flat for
+  /// arbitrarily long workloads. Mutually exclusive with history_window.
+  bool bounded_history = false;
+
+  /// Broadcast an ACK every this-many applied values (bounded mode and
+  /// rejoined processes). Smaller = tighter GC, more control traffic.
+  SeqNo ack_interval = 8;
+
+  /// Crash-rejoin: this process is a fresh incarnation of a crashed one.
+  /// On start it broadcasts CATCHUP and bootstraps from the largest peer
+  /// CHECKPOINT instead of genesis. Client operations issued before the
+  /// first checkpoint arrives are deferred, not refused. The single writer
+  /// must not rejoin this way (needs a write-quorum handshake we don't
+  /// implement); asserted in the constructor.
+  bool recover_via_catchup = false;
 
   /// ABLATION: drop Fig. 1 line 9 (the read's second quorum wait). Claim 2
   /// survives (its proof only needs lines 7/20 + Lemma 2) but Claim 3 loses
@@ -55,6 +90,7 @@ class TwoBitProcess final : public RegisterProcessBase {
                 TwoBitOptions options = TwoBitOptions());
 
   // ---- RegisterProcessBase -----------------------------------------------
+  void on_start(NetworkContext& net) override;
   void start_write(NetworkContext& net, Value v, WriteDone done) override;
   void start_read(NetworkContext& net, ReadDone done) override;
   void on_message(NetworkContext& net, ProcessId from,
@@ -63,26 +99,65 @@ class TwoBitProcess final : public RegisterProcessBase {
   std::uint64_t local_memory_bytes() const override;
   const Codec& codec() const override { return twobit_codec(); }
 
+  /// Itemised live state, the quantity Table 1 line 4 compares (and the
+  /// quantity the bounded mode keeps flat). total == local_memory_bytes().
+  struct MemoryFootprint {
+    std::uint64_t history_bytes = 0;     // retained entries + payloads
+    std::uint64_t checkpoint_bytes = 0;  // the checkpoint record itself
+    std::uint64_t sync_bytes = 0;        // w_sync / r_sync / acked rows
+    std::uint64_t parked_bytes = 0;      // parked writes/reads
+    std::uint64_t total = 0;
+    std::size_t retained_entries = 0;    // history entries currently resident
+  };
+  MemoryFootprint memory_footprint() const;
+
   // ---- introspection (invariant observers, tests, benches) ----------------
   /// w_sync_i[j]: to this process's knowledge, j knows history[0..w_sync(j)].
   SeqNo wsync(ProcessId j) const;
   /// r_sync_i[j]: how many of our READ requests j has answered.
   SeqNo rsync(ProcessId j) const;
+  /// acked_i[j]: largest prefix j has explicitly ACKed (bounded mode).
+  SeqNo acked(ProcessId j) const;
+  /// The prefix j provably stores: max(w_sync[j], acked[j]) on a confirmed
+  /// channel, acked[j] alone on a channel reset by a rejoin and not yet
+  /// re-confirmed by traffic from j.
+  SeqNo known(ProcessId j) const;
   /// Copy of the retained history entries; element k is history index
-  /// history_base() + k. With history_window = 0 (the algorithm as
-  /// published) the base is always 0 and this is the full prefix.
+  /// history_base() + k. With history_window = 0 and bounded_history off
+  /// (the algorithm as published) the base is always 0 and this is the
+  /// full prefix.
   std::vector<Value> history() const;
-  /// Smallest retained history index (0 unless a window evicted entries).
-  SeqNo history_base() const noexcept { return history_base_; }
+  /// Smallest retained history index == the checkpoint index (0 unless a
+  /// window evicted or the GC advanced the checkpoint).
+  SeqNo history_base() const noexcept { return log_.base(); }
   /// Number of entries dropped by the window ablation (0 when faithful).
   std::uint64_t evicted_count() const noexcept { return evicted_; }
+  /// Number of entries reclaimed by acked-prefix GC (bounded mode).
+  std::uint64_t gc_reclaimed_count() const noexcept { return gc_reclaimed_; }
   /// Number of Rule-R2 catch-ups skipped because the value was evicted.
   std::uint64_t skipped_catchups() const noexcept { return skipped_catchups_; }
+  /// Number of Rule-R2 catch-ups skipped because the peer had already acked
+  /// the value (bounded mode; these are *not* liveness losses).
+  std::uint64_t superseded_sends() const noexcept { return superseded_sends_; }
+  std::uint64_t checkpoints_served() const noexcept {
+    return checkpoints_served_;
+  }
+  std::uint64_t checkpoints_adopted() const noexcept {
+    return checkpoints_adopted_;
+  }
   /// Number of WRITE frames this process has sent to j (Lemma 5's counter).
   SeqNo write_frames_sent_to(ProcessId j) const;
   bool has_parked_write(ProcessId from) const;
   std::size_t parked_read_count() const;
   bool crashed() const noexcept { return crashed_; }
+  /// True when acked-prefix GC is on (invariant observers relax the exact
+  /// Lemma-5 frame counts: a superseded catch-up is skipped, not sent).
+  bool bounded_mode() const noexcept { return options_.bounded_history; }
+  /// True for a recover_via_catchup incarnation (invariant observers relax
+  /// cross-process lemmas for channels touching a rejoined process).
+  bool has_recovered() const noexcept { return options_.recover_via_catchup; }
+  /// True while a rejoiner is still waiting for its first checkpoint.
+  bool recovering() const noexcept { return recovering_; }
 
  private:
   struct ParkedWrite {
@@ -93,7 +168,7 @@ class TwoBitProcess final : public RegisterProcessBase {
     SeqNo wsn = 0;
     WriteDone done;
   };
-  enum class ReadStage { kAwaitProceeds, kAwaitWsync };
+  enum class ReadStage { kDeferred, kAwaitProceeds, kAwaitWsync };
   struct PendingRead {
     SeqNo rsn = 0;
     ReadStage stage = ReadStage::kAwaitProceeds;
@@ -109,6 +184,18 @@ class TwoBitProcess final : public RegisterProcessBase {
   void on_read(NetworkContext& net, ProcessId from);     // lines 19-21
   void on_proceed(NetworkContext& net, ProcessId from);  // line 22
 
+  // Bounded-memory extension handlers.
+  void on_ack(NetworkContext& net, ProcessId from, SeqNo upto);
+  void on_catchup(NetworkContext& net, ProcessId from);
+  void on_checkpoint(NetworkContext& net, ProcessId from, SeqNo index,
+                     const Value& v);
+  void issue_read_round(NetworkContext& net);  // lines 5-6 send phase
+  void maybe_send_acks(NetworkContext& net);
+  void maybe_gc();
+  bool acks_enabled() const {
+    return options_.bounded_history || options_.recover_via_catchup;
+  }
+
   /// Re-examine everything the paper `wait`s on. Runs to fixpoint.
   void after_state_change(NetworkContext& net);
   bool drain_parked_writes(NetworkContext& net);
@@ -117,8 +204,9 @@ class TwoBitProcess final : public RegisterProcessBase {
 
   void send_write_frame(NetworkContext& net, ProcessId to, SeqNo index);
   void send_control_frame(NetworkContext& net, ProcessId to, TwoBitType type);
-  std::uint32_t count_wsync_eq(SeqNo v) const;
-  std::uint32_t count_wsync_ge(SeqNo v) const;
+  void send_index_frame(NetworkContext& net, ProcessId to, TwoBitType type,
+                        SeqNo index);
+  std::uint32_t count_known_ge(SeqNo v) const;
   std::uint32_t count_rsync_eq(SeqNo v) const;
 
   /// history_i[idx] for retained idx; appends evict under the window option.
@@ -129,15 +217,27 @@ class TwoBitProcess final : public RegisterProcessBase {
 
   TwoBitOptions options_;
 
-  // Fig. 1 local state. The deque holds indices
-  // [history_base_, history_base_ + size); base stays 0 unless the
-  // window ablation evicts.
-  std::deque<Value> history_;
-  SeqNo history_base_ = 0;
+  // Fig. 1 local state. The log retains indices [base, head]; the base
+  // stays 0 unless the window ablation evicts or bounded-mode GC advances
+  // the checkpoint.
+  BoundedHistoryLog log_;
   std::uint64_t evicted_ = 0;
+  std::uint64_t gc_reclaimed_ = 0;
   std::uint64_t skipped_catchups_ = 0;
+  std::uint64_t superseded_sends_ = 0;
+  std::uint64_t checkpoints_served_ = 0;
+  std::uint64_t checkpoints_adopted_ = 0;
   std::vector<SeqNo> w_sync_;    // w_sync_i[1..n] (0-based here)
   std::vector<SeqNo> r_sync_;    // r_sync_i[1..n]
+
+  // Bounded-memory extension state.
+  std::vector<SeqNo> acked_;            // largest prefix j explicitly ACKed
+  std::vector<std::uint8_t> wsync_confirmed_;  // channel trust (see known())
+  std::vector<std::uint8_t> channel_ready_;    // rejoin: checkpoint received
+  std::vector<std::uint32_t> deferred_reads_;  // READs parked while recovering
+  bool recovering_ = false;
+  std::uint32_t checkpoint_responses_ = 0;  // distinct peers that answered
+  SeqNo last_ack_sent_ = 0;
 
   // `wait` translations.
   std::vector<std::optional<ParkedWrite>> parked_write_;  // line 11, per sender

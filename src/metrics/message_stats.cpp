@@ -39,7 +39,15 @@ MessageStats MessageStats::diff_since(const MessageStats& earlier) const {
   // Max over the window is not derivable from snapshots; report the global
   // max, which upper-bounds the window (documented behaviour).
   out.max_control_bits_ = max_control_bits_;
+  // Gauges are not monotone either; the window inherits the current values.
+  out.local_memory_peak_ = local_memory_peak_;
+  out.local_memory_last_ = local_memory_last_;
   return out;
+}
+
+void MessageStats::record_local_memory(std::uint64_t bytes) {
+  local_memory_last_ = bytes;
+  local_memory_peak_ = std::max(local_memory_peak_, bytes);
 }
 
 void MessageStats::reset() { *this = MessageStats{}; }

@@ -39,6 +39,18 @@ class MessageStats {
     return max_control_bits_;
   }
 
+  /// Local-memory gauge (the Table 1 line 4 companion): owners record the
+  /// max per-process local_memory_bytes() at quiescent points — the sim
+  /// after settle(), the runtimes at stop(). Gauges, not counters: `last`
+  /// is the most recent record, `peak` the high-water mark.
+  void record_local_memory(std::uint64_t bytes);
+  std::uint64_t local_memory_peak() const noexcept {
+    return local_memory_peak_;
+  }
+  std::uint64_t local_memory_last() const noexcept {
+    return local_memory_last_;
+  }
+
   /// Value-semantics snapshot for windowed measurements.
   MessageStats snapshot() const { return *this; }
   /// Per-field difference (this - earlier); counters are monotone.
@@ -53,6 +65,8 @@ class MessageStats {
   std::uint64_t control_bits_ = 0;
   std::uint64_t data_bits_ = 0;
   std::uint64_t max_control_bits_ = 0;
+  std::uint64_t local_memory_peak_ = 0;
+  std::uint64_t local_memory_last_ = 0;
 };
 
 }  // namespace tbr

@@ -25,6 +25,8 @@ void Scenario::validate() const {
   for (const ProcessId pid : crash_candidates) {
     TBR_ENSURE(pid < cfg.n, "crash candidate out of range");
   }
+  TBR_ENSURE(max_recoveries == 0 || recover_factory != nullptr,
+             "recoveries need a recover_factory");
 }
 
 // The controlled network: sends append to the in-flight queue in program
@@ -44,6 +46,13 @@ class McRun::McContext final : public NetworkContext {
     return static_cast<std::uint32_t>(run_.processes_.size());
   }
   Tick now() const override { return static_cast<Tick>(run_.steps_); }
+  void fence_peer(ProcessId to) override {
+    // Re-establish our send side toward `to`: our undelivered frames to it
+    // belong to the dead connection and are erased from the frontier.
+    std::erase_if(run_.in_flight_, [this, to](const Frame& f) {
+      return f.from == self_ && f.to == to;
+    });
+  }
   void schedule(Tick, std::function<void()>) override {
     TBR_ENSURE(false,
                "the model checker explores timer-free protocols only "
@@ -88,10 +97,11 @@ bool McRun::op_startable(std::size_t index) const {
     return false;
   }
   // Per-process sequentiality: an earlier op at the same process that has
-  // started but not finished blocks this one.
+  // started but not finished blocks this one (unless its incarnation died
+  // and took the op with it).
   for (std::size_t k = 0; k < index; ++k) {
     if (scenario_.ops[k].proc == op.proc && op_state_[k].started &&
-        !op_state_[k].done) {
+        !op_state_[k].done && !op_state_[k].orphaned) {
       return false;
     }
     // An earlier *unstarted* op at the same process also blocks: client
@@ -116,6 +126,11 @@ std::vector<McRun::Choice> McRun::enabled() const {
   if (crashes_ < scenario_.max_crashes) {
     for (const ProcessId pid : scenario_.crash_candidates) {
       if (!crashed_[pid]) out.push_back(Choice{Choice::Kind::kCrash, pid});
+    }
+  }
+  if (recoveries_ < scenario_.max_recoveries) {
+    for (const ProcessId pid : scenario_.crash_candidates) {
+      if (crashed_[pid]) out.push_back(Choice{Choice::Kind::kRecover, pid});
     }
   }
   return out;
@@ -149,11 +164,33 @@ void McRun::apply(const Choice& choice) {
       crashed_[pid] = true;
       ++crashes_;
       processes_[pid]->on_crash();
+      // An op in flight at the corpse dies with its completion callback.
+      for (std::size_t k = 0; k < scenario_.ops.size(); ++k) {
+        if (scenario_.ops[k].proc == pid && op_state_[k].started &&
+            !op_state_[k].done) {
+          op_state_[k].orphaned = true;
+        }
+      }
       // Frames addressed to the corpse can never influence anything;
       // removing them prunes schedule-tree branches that differ only in
       // when a dead letter is burned.
       std::erase_if(in_flight_,
                     [pid](const Frame& f) { return f.to == pid; });
+      break;
+    }
+    case Choice::Kind::kRecover: {
+      const ProcessId pid = static_cast<ProcessId>(choice.arg);
+      TBR_ENSURE(crashed_[pid], "recover of a process that is not crashed");
+      // Channel reset, both directions: frames to or from the old
+      // incarnation are dead (the runtimes' connection-death semantics).
+      std::erase_if(in_flight_, [pid](const Frame& f) {
+        return f.from == pid || f.to == pid;
+      });
+      crashed_[pid] = false;
+      ++recoveries_;
+      processes_[pid] = scenario_.recover_factory(scenario_.cfg, pid);
+      TBR_ENSURE(processes_[pid] != nullptr, "recover factory returned null");
+      processes_[pid]->on_start(*contexts_[pid]);
       break;
     }
   }
@@ -194,7 +231,8 @@ void McRun::start_op(std::size_t index) {
 std::string McRun::liveness_error() const {
   for (std::size_t k = 0; k < scenario_.ops.size(); ++k) {
     const McOp& op = scenario_.ops[k];
-    if (op_state_[k].started && !op_state_[k].done && !crashed_[op.proc]) {
+    if (op_state_[k].started && !op_state_[k].done &&
+        !op_state_[k].orphaned && !crashed_[op.proc]) {
       return "op #" + std::to_string(k) + " at p" + std::to_string(op.proc) +
              " started but cannot complete (deadlock with empty network)";
     }
@@ -206,7 +244,11 @@ void McRun::run_invariants() {
   std::vector<const TwoBitProcess*> procs;
   procs.reserve(processes_.size());
   for (const auto& p : processes_) {
-    procs.push_back(static_cast<const TwoBitProcess*>(p.get()));
+    // A recover_factory may install non-TwoBit incarnations; the lemma
+    // suite only speaks about all-TwoBit groups.
+    const auto* tp = dynamic_cast<const TwoBitProcess*>(p.get());
+    if (tp == nullptr) return;
+    procs.push_back(tp);
   }
   invariant_error_ = check_twobit_state_invariants(procs, in_flight_frames());
 }

@@ -29,10 +29,10 @@ class McRun {
   McRun& operator=(const McRun&) = delete;
 
   struct Choice {
-    enum class Kind : std::uint8_t { kDeliver, kStartOp, kCrash };
+    enum class Kind : std::uint8_t { kDeliver, kStartOp, kCrash, kRecover };
     Kind kind = Kind::kDeliver;
     /// kDeliver: position in the in-flight queue. kStartOp: index into
-    /// Scenario::ops. kCrash: the ProcessId to crash.
+    /// Scenario::ops. kCrash/kRecover: the ProcessId affected.
     std::size_t arg = 0;
   };
 
@@ -64,6 +64,7 @@ class McRun {
   std::uint64_t steps() const noexcept { return steps_; }
   std::size_t in_flight_count() const noexcept { return in_flight_.size(); }
   std::uint32_t crashes() const noexcept { return crashes_; }
+  std::uint32_t recoveries() const noexcept { return recoveries_; }
   RegisterProcessBase& process(ProcessId pid);
   /// The undelivered frames, positionally aligned with the kDeliver
   /// choices in enabled(). Together they make McRun a *scriptable
@@ -82,6 +83,11 @@ class McRun {
   struct OpState {
     bool started = false;
     bool done = false;
+    /// Started at an incarnation that has since crashed: the completion
+    /// callback died with it, so the op can never finish — the model's
+    /// "a faulty process's last operation may not take effect". Excluded
+    /// from liveness verdicts and from per-process ordering.
+    bool orphaned = false;
     HistoryLog::OpId history_id = 0;
   };
 
@@ -99,6 +105,7 @@ class McRun {
   HistoryLog history_;
   std::uint64_t steps_ = 0;
   std::uint32_t crashes_ = 0;
+  std::uint32_t recoveries_ = 0;
   bool invariants_applicable_ = false;
   std::string invariant_error_;
 };

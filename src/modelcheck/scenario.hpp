@@ -51,6 +51,18 @@ struct Scenario {
   std::uint32_t max_crashes = 0;
   std::vector<ProcessId> crash_candidates;
 
+  /// Rejoin nondeterminism: at any step the adversary may also resurrect a
+  /// currently-crashed candidate (up to `max_recoveries` in total) as a
+  /// fresh incarnation built by `recover_factory`. The channels touching it
+  /// reset: frames in flight to or from the old incarnation are erased,
+  /// exactly the runtimes' connection-death semantics. So every
+  /// crash-during-GC and checkpoint/catch-up race within the budget is
+  /// enumerated. Requires recover_factory when non-zero.
+  std::uint32_t max_recoveries = 0;
+  std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                     ProcessId)>
+      recover_factory;
+
   /// Run the two-bit lemma invariants after every step (requires processes
   /// to be TwoBitProcess instances; automatically skipped otherwise).
   bool check_invariants = true;

@@ -34,6 +34,15 @@ class NetworkContext {
   /// measurement does.
   virtual Tick now() const = 0;
 
+  /// Invalidate every frame this process has already sent to `to` that is
+  /// still undelivered. Models the transport fact that a connection does
+  /// not survive its endpoints: when a peer announces it rebooted (CatchUp),
+  /// frames we sent to it earlier belong to a dead connection and must not
+  /// arrive after our reset-era frames. FIFO transports (TCP sockets) get
+  /// this for free and keep the no-op default; the delay-reordering
+  /// runtimes (simulator, threaded, model checker) override it.
+  virtual void fence_peer(ProcessId to) { (void)to; }
+
   /// Run `fn` on this process after `delay` ticks, with the same mutual
   /// exclusion as message handlers. Never fires once the process has
   /// crashed. The *register algorithms* are timer-free (the CAMP model is

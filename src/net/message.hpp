@@ -17,8 +17,11 @@ struct Message {
   std::uint8_t type = 0;
 
   /// Baseline control fields (ABD sequence number, phase/request tags).
-  /// The two-bit algorithm leaves these at 0 and its codec never encodes
-  /// them — sequence numbers stay local, per the paper.
+  /// The two-bit algorithm leaves these at 0 on its four Fig. 1 frames and
+  /// its codec never encodes them there — sequence numbers stay local, per
+  /// the paper. The bounded-memory extension frames (ACK / CHECKPOINT /
+  /// CATCHUP, TwoBitType 4..6) use `seq` as the explicit history index they
+  /// carry, accounted as extra control bits.
   SeqNo seq = 0;
   SeqNo aux = 0;
 

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stop_token>
@@ -40,6 +41,9 @@ namespace tbr {
 struct DeliverEnvelope {
   ProcessId from = kNoProcess;
   std::string encoded;  ///< wire bytes; decoded by the recipient's codec
+  /// Channel epoch at send time (crash-rejoin fencing). The receiver drops
+  /// the frame if the from->to channel was re-established after the stamp.
+  std::uint32_t epoch = 0;
 };
 
 /// Completion callbacks for the client fast path. `status` is the client
@@ -71,13 +75,23 @@ struct ReadEnvelope {
 /// Crash marker: the process stops handling everything at this point.
 struct CrashEnvelope {};
 
+class RegisterProcessBase;
+
+/// Rejoin marker: replace the crashed process with a fresh incarnation
+/// built by `make` (run on the loop thread, so the new process is
+/// constructed where it will live). Handled even while crashed — it is the
+/// one envelope that ends the crashed state.
+struct RecoverEnvelope {
+  std::function<std::unique_ptr<RegisterProcessBase>()> make;
+};
+
 /// Timer expiry (NetworkContext::schedule): run `fn` on the process thread.
 struct TimerEnvelope {
   std::function<void()> fn;
 };
 
 using Envelope = std::variant<DeliverEnvelope, WriteEnvelope, ReadEnvelope,
-                              CrashEnvelope, TimerEnvelope>;
+                              CrashEnvelope, RecoverEnvelope, TimerEnvelope>;
 
 template <typename T>
 class MailboxT {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "core/twobit_process.hpp"
 #include "runtime/affinity.hpp"
 
 namespace tbr {
@@ -34,6 +35,11 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   void schedule(Tick delay, std::function<void()> fn) override {
     net_.schedule_timer(pid_, delay, std::move(fn));
   }
+  void fence_peer(ProcessId to) override {
+    // Runs on this host's loop thread (inside a handler): re-establish our
+    // send side toward `to`, so frames we sent before this point die.
+    net_.chan_epoch(pid_, to).fetch_add(1, std::memory_order_release);
+  }
 
   Mailbox& mailbox() noexcept { return mailbox_; }
   RegisterProcessBase& process() noexcept { return *proc_; }
@@ -50,6 +56,11 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
  private:
   void handle(Envelope env) {
     if (crashed()) {
+      // The one envelope a dead process still honours is its own rebirth.
+      if (auto* r = std::get_if<RecoverEnvelope>(&env)) {
+        handle_one(std::move(*r));
+        return;
+      }
       fail_if_request(env);
       return;
     }
@@ -68,6 +79,14 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
   }
 
   void handle_one(DeliverEnvelope e) {
+    if (e.epoch !=
+        net_.chan_epoch(e.from, pid_).load(std::memory_order_acquire)) {
+      // The from->us channel was re-established after this frame was
+      // stamped (a rejoin or a fence): it belongs to a dead connection.
+      net_.record_fenced_drop();
+      net_.recycle_buffer(std::move(e.encoded));
+      return;
+    }
     // Decode into the host's scratch Message: large payloads land in the
     // scratch value's recycled buffer instead of a fresh string per frame.
     proc_->codec().decode_into(e.encoded, inbound_);
@@ -114,6 +133,20 @@ class ThreadNetwork::ProcessHost final : public NetworkContext {
       pending_read_ = nullptr;
       done(ReadResultT{}, kCrashedStatus);
     }
+  }
+
+  void handle_one(RecoverEnvelope e) {
+    // Re-establish every channel touching us: frames stamped before these
+    // bumps are dead on arrival wherever they are queued.
+    for (ProcessId peer = 0; peer < net_.cfg_.n; ++peer) {
+      if (peer == pid_) continue;
+      net_.chan_epoch(pid_, peer).fetch_add(1, std::memory_order_release);
+      net_.chan_epoch(peer, pid_).fetch_add(1, std::memory_order_release);
+    }
+    proc_ = e.make();
+    TBR_ENSURE(proc_ != nullptr, "recover factory returned null");
+    crashed_.store(false, std::memory_order_release);
+    proc_->on_start(*this);  // a rejoiner broadcasts CATCHUP here
   }
 
   void handle_one(TimerEnvelope e) {
@@ -198,6 +231,8 @@ class ThreadNetwork::ClientImpl final : public RegisterClientEngine {
 ThreadNetwork::ThreadNetwork(Options options)
     : cfg_(options.cfg),
       opt_(options),
+      chan_epoch_(new std::atomic<std::uint32_t>[static_cast<std::size_t>(
+          options.cfg.n) * options.cfg.n]()),
       delay_rng_(options.seed ^ 0xD15417C4E5ULL),
       epoch_(Clock::now()) {
   cfg_.validate();
@@ -257,6 +292,14 @@ void ThreadNetwork::stop() {
   dispatch_cv_.notify_all();
   for (auto& th : threads_) th.request_stop();
   threads_.clear();  // jthread joins on destruction
+  // Loop threads are joined: process state is safe to read. Record the
+  // final local-memory gauge next to the wire tallies.
+  std::uint64_t peak = 0;
+  for (auto& host : hosts_) {
+    peak = std::max(peak, host->process().local_memory_bytes());
+  }
+  const std::scoped_lock lock(stats_mu_);
+  stats_.record_local_memory(peak);
 }
 
 std::string ThreadNetwork::take_buffer() {
@@ -299,6 +342,7 @@ void ThreadNetwork::dispatch(ProcessId from, ProcessId to,
     frame.from = from;
     frame.to = to;
     frame.encoded = std::move(encoded);
+    frame.epoch = chan_epoch(from, to).load(std::memory_order_acquire);
     frame_heap_.push_back(std::move(frame));
     std::push_heap(frame_heap_.begin(), frame_heap_.end(),
                    std::greater<>{});
@@ -353,7 +397,8 @@ void ThreadNetwork::dispatcher_loop(std::stop_token st) {
       hosts_[frame.to]->mailbox().push(TimerEnvelope{std::move(frame.timer)});
     } else {
       const bool delivered = hosts_[frame.to]->mailbox().push(
-          DeliverEnvelope{frame.from, std::move(frame.encoded)});
+          DeliverEnvelope{frame.from, std::move(frame.encoded),
+                          frame.epoch});
       if (!delivered || hosts_[frame.to]->crashed()) {
         const std::scoped_lock slock(stats_mu_);
         // type is inside the encoding; account the drop generically as 0.
@@ -388,6 +433,31 @@ void ThreadNetwork::read_async(ProcessId reader, ReadCallback done) {
 void ThreadNetwork::crash(ProcessId pid) {
   TBR_ENSURE(pid < cfg_.n, "pid out of range");
   hosts_[pid]->mailbox().push(CrashEnvelope{});
+}
+
+void ThreadNetwork::record_fenced_drop() {
+  const std::scoped_lock lock(stats_mu_);
+  stats_.record_drop(0);
+}
+
+void ThreadNetwork::recover(ProcessId pid) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  TBR_ENSURE(crashed(pid), "recover of a process that is not crashed");
+  std::function<std::unique_ptr<RegisterProcessBase>()> make;
+  if (opt_.recover_factory) {
+    make = [factory = opt_.recover_factory, cfg = cfg_, pid] {
+      return factory(cfg, pid);
+    };
+  } else {
+    TBR_ENSURE(opt_.algo == Algorithm::kTwoBit && !opt_.process_factory,
+               "recover needs Options::recover_factory");
+    make = [cfg = cfg_, pid]() -> std::unique_ptr<RegisterProcessBase> {
+      TwoBitOptions topt;
+      topt.recover_via_catchup = true;
+      return std::make_unique<TwoBitProcess>(cfg, pid, topt);
+    };
+  }
+  hosts_[pid]->mailbox().push(RecoverEnvelope{std::move(make)});
 }
 
 bool ThreadNetwork::crashed(ProcessId pid) const {

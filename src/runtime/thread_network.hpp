@@ -22,6 +22,7 @@
 // client() is the one way in.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -58,6 +59,13 @@ class ThreadNetwork {
     /// dispatcher to pin_cpu_base + n (mod hardware cores; best-effort).
     /// Keeps per-process cache state warm and throughput runs reproducible.
     int pin_cpu_base = -1;
+
+    /// Optional override for the incarnation built by recover(). Unset +
+    /// algo == kTwoBit: a TwoBitProcess with recover_via_catchup. Unset +
+    /// any other algorithm: recovery is unavailable.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        recover_factory;
   };
 
   explicit ThreadNetwork(Options options);
@@ -88,6 +96,12 @@ class ThreadNetwork {
   /// Crash a process: it handles nothing after the marker is processed.
   void crash(ProcessId pid);
   bool crashed(ProcessId pid) const;
+  /// Rejoin a crashed process as a fresh incarnation (Options::
+  /// recover_factory). Every channel touching it is re-established:
+  /// in-flight frames stamped with the old channel epoch are dropped at
+  /// delivery, exactly as a closed-and-reopened TCP connection would lose
+  /// them. The new incarnation starts (and catches up) on the loop thread.
+  void recover(ProcessId pid);
 
   MessageStats stats_snapshot() const;
   const GroupConfig& config() const noexcept { return cfg_; }
@@ -102,6 +116,7 @@ class ThreadNetwork {
     ProcessId from = kNoProcess;
     ProcessId to = kNoProcess;
     std::string encoded;
+    std::uint32_t epoch = 0;  ///< channel epoch at send time (fencing)
     /// Set => this entry is a timer expiry for `to`, not a frame.
     std::function<void()> timer;
     bool operator>(const PendingFrame& other) const {
@@ -114,6 +129,15 @@ class ThreadNetwork {
   void schedule_timer(ProcessId pid, Tick delay, std::function<void()> fn);
   void dispatcher_loop(std::stop_token st);
 
+  /// Channel epochs, flattened [from * n + to]; see SimNetwork's matrix for
+  /// the semantics. Atomics because a cell is bumped by the endpoint
+  /// threads (fence_peer / recover) and read by the sender's stamp and the
+  /// receiver's delivery check.
+  std::atomic<std::uint32_t>& chan_epoch(ProcessId from, ProcessId to) {
+    return chan_epoch_[from * cfg_.n + to];
+  }
+  void record_fenced_drop();
+
   /// Encode-buffer pool: warmed strings cycled sender -> dispatcher ->
   /// receiver -> pool. Bounded so a burst cannot pin memory forever.
   std::string take_buffer();
@@ -124,6 +148,7 @@ class ThreadNetwork {
   Options opt_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
   std::unique_ptr<ClientImpl> client_impl_;  // engine + RegisterClient
+  std::unique_ptr<std::atomic<std::uint32_t>[]> chan_epoch_;  // n*n cells
 
   // Dispatcher state.
   mutable std::mutex dispatch_mu_;

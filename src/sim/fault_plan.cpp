@@ -39,8 +39,26 @@ FaultPlan FaultPlan::deterministic(const GroupConfig& cfg, std::uint32_t count,
   return plan;
 }
 
+FaultPlan FaultPlan::crash_rejoin(const GroupConfig& cfg, std::uint32_t count,
+                                  Tick at, Tick rejoin_at) {
+  TBR_ENSURE(rejoin_at > at, "rejoin must come after the crash");
+  FaultPlan plan = deterministic(cfg, count, at);
+  for (const auto& c : plan.crashes) {
+    plan.recoveries.push_back(RecoverEvent{c.pid, rejoin_at});
+  }
+  return plan;
+}
+
 void FaultPlan::install(SimNetwork& net) const {
   for (const auto& c : crashes) net.crash_at(c.pid, c.at);
+  for (const auto& r : recoveries) {
+    bool crashes_first = false;
+    for (const auto& c : crashes) {
+      if (c.pid == r.pid && c.at < r.at) crashes_first = true;
+    }
+    TBR_ENSURE(crashes_first, "recovery without an earlier crash");
+    net.recover_at(r.pid, r.at);
+  }
 }
 
 }  // namespace tbr

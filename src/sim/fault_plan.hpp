@@ -15,8 +15,16 @@ struct CrashEvent {
   Tick at = 0;
 };
 
+struct RecoverEvent {
+  ProcessId pid = kNoProcess;
+  Tick at = 0;
+};
+
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
+  /// Rejoins. Each pid must also appear in `crashes` with an earlier time;
+  /// installing a recovery requires the network to carry a recover_factory.
+  std::vector<RecoverEvent> recoveries;
 
   static FaultPlan none() { return {}; }
 
@@ -33,6 +41,11 @@ struct FaultPlan {
   /// (deterministic; never the writer), all crashing at `at`.
   static FaultPlan deterministic(const GroupConfig& cfg, std::uint32_t count,
                                  Tick at);
+
+  /// Crash-then-rejoin: like deterministic(), plus every victim recovers at
+  /// `rejoin_at` (> at). The network must be built with a recover_factory.
+  static FaultPlan crash_rejoin(const GroupConfig& cfg, std::uint32_t count,
+                                Tick at, Tick rejoin_at);
 
   void install(SimNetwork& net) const;
 };

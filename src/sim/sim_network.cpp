@@ -29,6 +29,7 @@ class SimNetwork::Context final : public NetworkContext {
       if (!net->crashed(self)) fn();
     });
   }
+  void fence_peer(ProcessId to) override { net_.fence_from(self_, to); }
 
  private:
   SimNetwork& net_;
@@ -65,6 +66,8 @@ SimNetwork::SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
                        Options options)
     : processes_(std::move(processes)),
       crashed_(processes_.size(), false),
+      recover_factory_(std::move(options.recover_factory)),
+      chan_epoch_(processes_.size() * processes_.size(), 0),
       rng_(options.seed),
       delay_(options.delay ? std::move(options.delay)
                            : make_constant_delay(1000)),
@@ -129,11 +132,59 @@ bool SimNetwork::crashed(ProcessId pid) const {
   return crashed_[pid];
 }
 
+void SimNetwork::recover_at(ProcessId pid, Tick when) {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  schedule_at(when, [this, pid] { recover_now(pid); });
+}
+
+void SimNetwork::recover_now(ProcessId pid) {
+  TBR_ENSURE(pid < processes_.size(), "pid out of range");
+  TBR_ENSURE(crashed_[pid], "recover of a process that is not crashed");
+  TBR_ENSURE(recover_factory_ != nullptr,
+             "recover needs Options::recover_factory");
+  // Re-establish every channel touching pid: frames in flight to or from
+  // the old incarnation die with it (a restart closes its connections).
+  const std::size_t n = processes_.size();
+  for (ProcessId peer = 0; peer < n; ++peer) {
+    ++chan_epoch_[pid * n + peer];  // sent by the old incarnation
+    ++chan_epoch_[peer * n + pid];  // addressed to the old incarnation
+  }
+  // Frames parked in the dead node's service FIFO are lost with it.
+  while (!service_queue_[pid].empty()) {
+    const ParkedFrame parked = service_queue_[pid].pop();
+    const Message& msg = frame_pool_[parked.frame];
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, parked.from,
+                                pid, msg.type, msg.debug_index,
+                                msg.has_value});
+    }
+    release_frame(parked.frame);
+  }
+  busy_until_[pid] = now_;
+  crashed_[pid] = false;
+  ++recover_count_;
+  processes_[pid] = recover_factory_(pid);
+  TBR_ENSURE(processes_[pid] != nullptr, "recover factory returned null");
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{TraceEvent::Kind::kRecover, now_, pid,
+                              kNoProcess, 0, -1, false});
+  }
+  if (started_) processes_[pid]->on_start(*contexts_[pid]);
+}
+
+void SimNetwork::fence_from(ProcessId from, ProcessId to) {
+  TBR_ENSURE(from < processes_.size() && to < processes_.size(),
+             "pid out of range");
+  ++chan_epoch_[from * processes_.size() + to];
+}
+
 // ---- frame pool --------------------------------------------------------------
 
 EventQueue::FrameId SimNetwork::acquire_frame(const Message& msg) {
   if (free_frames_.empty()) {
     frame_pool_.push_back(msg);
+    frame_epoch_.push_back(0);
     return static_cast<EventQueue::FrameId>(frame_pool_.size() - 1);
   }
   const EventQueue::FrameId frame = free_frames_.back();
@@ -183,6 +234,7 @@ void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
   TBR_ENSURE(dt > 0, "delay model produced a non-positive delay");
   const Tick deliver_at = now_ + dt;
   const auto frame = acquire_frame(msg);
+  frame_epoch_[frame] = chan_epoch(from, to);
   const auto id = queue_.schedule_deliver(deliver_at, from, to, frame);
   if (track_in_flight_) {
     in_flight_.emplace_back(
@@ -193,6 +245,17 @@ void SimNetwork::send_from(ProcessId from, ProcessId to, const Message& msg) {
 void SimNetwork::deliver_frame(ProcessId from, ProcessId to,
                                EventQueue::FrameId frame) {
   const Message& msg = frame_pool_[frame];
+  if (frame_epoch_[frame] != chan_epoch(from, to)) {
+    // The channel was re-established (an endpoint restarted, or the sender
+    // fenced it) after this frame left: it belongs to a dead connection.
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, from, to,
+                                msg.type, msg.debug_index, msg.has_value});
+    }
+    release_frame(frame);
+    return;
+  }
   if (crashed_[to]) {
     stats_.record_drop(msg.type);
     if (trace_ != nullptr) {
@@ -249,6 +312,18 @@ void SimNetwork::drain_service_queue(ProcessId to) {
     queue_.schedule_drain(busy_until_[to], to);
   }
   const Message& msg = frame_pool_[parked.frame];
+  if (frame_epoch_[parked.frame] != chan_epoch(parked.from, to)) {
+    // Channel re-established while the frame waited for CPU: dead on
+    // arrival, same as the pre-service epoch check in deliver_frame.
+    stats_.record_drop(msg.type);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceEvent::Kind::kDrop, now_, parked.from,
+                                to, msg.type, msg.debug_index,
+                                msg.has_value});
+    }
+    release_frame(parked.frame);
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->record(TraceEvent{TraceEvent::Kind::kDeliver, now_, parked.from,
                               to, msg.type, msg.debug_index, msg.has_value});

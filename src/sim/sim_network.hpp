@@ -62,6 +62,12 @@ class SimNetwork {
     /// default: the registry costs an insert + linear-scan erase per frame,
     /// which is pure overhead for every run that never introspects it.
     bool track_in_flight = false;
+
+    /// Crash-rejoin support: builds the fresh incarnation installed by
+    /// recover_now(pid). Typically returns a TwoBitProcess constructed with
+    /// recover_via_catchup = true. Recovering without a factory is a
+    /// contract error.
+    std::function<std::unique_ptr<ProcessBase>(ProcessId)> recover_factory;
   };
 
   SimNetwork(std::vector<std::unique_ptr<ProcessBase>> processes,
@@ -87,6 +93,18 @@ class SimNetwork {
   void crash_now(ProcessId pid);
   bool crashed(ProcessId pid) const;
   std::uint32_t crash_count() const noexcept { return crash_count_; }
+
+  /// Replace crashed `pid` with a fresh incarnation from
+  /// Options::recover_factory. Models a process restart on the same
+  /// identity: every channel touching pid is re-established, so frames
+  /// still in flight to or from the old incarnation are dead on arrival
+  /// (channel-epoch fencing below) — exactly what a closed-and-reopened
+  /// TCP connection gives the socket runtime. The new incarnation's
+  /// on_start runs immediately (it broadcasts CATCHUP when configured with
+  /// recover_via_catchup).
+  void recover_at(ProcessId pid, Tick when);
+  void recover_now(ProcessId pid);
+  std::uint32_t recover_count() const noexcept { return recover_count_; }
 
   // ---- execution ----------------------------------------------------------
   /// Run events until the queue drains or a limit is hit.
@@ -151,6 +169,9 @@ class SimNetwork {
   class Context;
 
   void send_from(ProcessId from, ProcessId to, const Message& msg);
+  /// Invalidate every frame currently in flight from -> to (sender-side
+  /// half of a channel re-establishment; NetworkContext::fence_peer).
+  void fence_from(ProcessId from, ProcessId to);
   /// Execute a Deliver event for pooled frame `frame`: hand it to its
   /// destination, or park it in the node's service FIFO when the capacity
   /// model says its CPU is mid-frame.
@@ -169,6 +190,22 @@ class SimNetwork {
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<bool> crashed_;
   std::uint32_t crash_count_ = 0;
+  std::uint32_t recover_count_ = 0;
+  std::function<std::unique_ptr<ProcessBase>(ProcessId)> recover_factory_;
+
+  /// Channel epochs, flattened [from * n + to]. A frame is stamped with its
+  /// channel's epoch at send time and silently dies if the epoch moved
+  /// before delivery. recover_now bumps pid's whole row and column (both
+  /// directions of every channel touching the restarted process);
+  /// fence_from bumps a single cell (a live peer re-establishing its send
+  /// side toward a rejoiner). Everything stays at epoch 0 until a recovery
+  /// feature is actually exercised.
+  std::vector<std::uint32_t> chan_epoch_;
+  std::uint32_t chan_epoch(ProcessId from, ProcessId to) const {
+    return chan_epoch_[from * processes_.size() + to];
+  }
+  /// Send-time epoch stamp per pooled frame, parallel to frame_pool_.
+  std::deque<std::uint32_t> frame_epoch_;
 
   EventQueue queue_;
   Tick now_ = 0;

@@ -36,8 +36,12 @@ std::string TraceLog::render(const Codec& codec, Tick delta) const {
       case TraceEvent::Kind::kCrash:
         os << "CRASH   p" << e.from;
         break;
+      case TraceEvent::Kind::kRecover:
+        os << "RECOVER p" << e.from;
+        break;
     }
-    if (e.debug_index >= 0 && e.kind != TraceEvent::Kind::kCrash) {
+    if (e.debug_index >= 0 && e.kind != TraceEvent::Kind::kCrash &&
+        e.kind != TraceEvent::Kind::kRecover) {
       os << " [value #" << e.debug_index << "]";
     }
     os << '\n';

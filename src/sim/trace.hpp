@@ -16,10 +16,10 @@
 namespace tbr {
 
 struct TraceEvent {
-  enum class Kind { kSend, kDeliver, kDrop, kCrash };
+  enum class Kind { kSend, kDeliver, kDrop, kCrash, kRecover };
   Kind kind = Kind::kSend;
   Tick at = 0;
-  ProcessId from = kNoProcess;  ///< kCrash: the crashed process
+  ProcessId from = kNoProcess;  ///< kCrash/kRecover: the affected process
   ProcessId to = kNoProcess;
   std::uint8_t type = 0;
   SeqNo debug_index = -1;  ///< history index for WRITE-like frames

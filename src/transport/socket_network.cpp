@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "core/twobit_process.hpp"
 #include "transport/frame_buffer.hpp"
 #include "transport/tcp_socket.hpp"
 
@@ -67,6 +68,8 @@ class SocketNetwork::Node final : public NetworkContext {
     return port;
   }
   int listener_fd() const { return listener_.get(); }
+  /// Main thread, only before start() or after stop() joins the loop.
+  RegisterProcessBase& process_unlocked() noexcept { return *proc_; }
   void adopt_connection(ProcessId peer, OwnedFd fd) {
     TBR_ENSURE(peer < peers_.size() && !peers_[peer].fd.valid(),
                "duplicate connection");
@@ -84,18 +87,25 @@ class SocketNetwork::Node final : public NetworkContext {
   }
 
   // ---- commands (any thread) -------------------------------------------------------
-  /// One marshaled request for this node's loop thread: a pooled client
-  /// operation, or (op == nullptr) a crash marker. Plain pointers — no
-  /// promises, no shared state, nothing to allocate per op.
+  /// One marshaled request for this node's loop thread. The hot case (kOp)
+  /// is a plain pooled-OpState pointer — no promises, no shared state,
+  /// nothing to allocate per op. The cold cases are fault plumbing: a crash
+  /// marker, a fresh connection to adopt (rejoin re-meshing), and a rebirth
+  /// carrying the factory for the new incarnation.
   struct Command {
-    OpState* op = nullptr;
+    enum class Kind { kOp, kCrash, kReattach, kRecover };
+    Kind kind = Kind::kOp;
+    OpState* op = nullptr;        // kOp
+    ProcessId peer = kNoProcess;  // kReattach: whose channel this is
+    OwnedFd fd;                   // kReattach: the new connection
+    std::function<std::unique_ptr<RegisterProcessBase>()> make;  // kRecover
   };
 
-  bool submit(Command cmd) {
+  bool submit(Command&& cmd) {
     {
       const std::scoped_lock lock(cmd_mu_);
       if (closed_) return false;
-      commands_.push_back(cmd);
+      commands_.push_back(std::move(cmd));
     }
     wake();
     return true;
@@ -196,11 +206,20 @@ class SocketNetwork::Node final : public NetworkContext {
       const std::scoped_lock lock(cmd_mu_);
       cmd_batch_.swap(commands_);
     }
-    for (const Command& cmd : cmd_batch_) {
-      if (cmd.op != nullptr) {
-        handle_op(*cmd.op);
-      } else {
-        handle_crash();
+    for (Command& cmd : cmd_batch_) {
+      switch (cmd.kind) {
+        case Command::Kind::kOp:
+          handle_op(*cmd.op);
+          break;
+        case Command::Kind::kCrash:
+          handle_crash();
+          break;
+        case Command::Kind::kReattach:
+          handle_reattach(cmd.peer, std::move(cmd.fd));
+          break;
+        case Command::Kind::kRecover:
+          handle_recover(cmd.make);
+          break;
       }
     }
   }
@@ -257,6 +276,35 @@ class SocketNetwork::Node final : public NetworkContext {
       peer.outbuf.clear();
     }
     timers_.clear();
+  }
+
+  void handle_reattach(ProcessId p, OwnedFd fd) {
+    TBR_ENSURE(p < peers_.size() && p != pid_, "bad reattach peer");
+    tcp::set_nonblocking(fd.get());
+    tcp::set_nodelay(fd.get());
+    Peer& peer = peers_[p];
+    // Replace whatever channel state is left: closing the old fd and
+    // clearing both buffers is the fence — every byte of the dead
+    // connection (unsent, unread, or half-framed) dies here.
+    peer.fd = std::move(fd);
+    peer.alive = true;
+    peer.inbuf.clear();
+    peer.outbuf.clear();
+  }
+
+  void handle_recover(
+      const std::function<std::unique_ptr<RegisterProcessBase>()>& make) {
+    TBR_ENSURE(crashed_, "recover of a process that is not crashed");
+    proc_ = make();
+    TBR_ENSURE(proc_ != nullptr, "recover factory returned null");
+    crashed_ = false;
+    crashed_flag_.store(false, std::memory_order_release);
+    proc_->on_start(*this);  // a rejoiner broadcasts CATCHUP here
+    // Frames that landed in an inbuf between reattach and rebirth were
+    // parked by the crashed dispatch gate; hand them over now.
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p != pid_ && peers_[p].alive) dispatch_frames(p);
+    }
   }
 
   void read_peer(ProcessId p) {
@@ -378,7 +426,9 @@ class SocketNetwork::ClientImpl final : public RegisterClientEngine {
 
   void client_issue(OpState& st) override {
     TBR_ENSURE(net_.started_, "start() the network first");
-    if (!net_.nodes_[st.node]->submit(Node::Command{&st})) {
+    Node::Command cmd;
+    cmd.op = &st;
+    if (!net_.nodes_[st.node]->submit(std::move(cmd))) {
       st.owner->complete_failed(st, kShutdownStatus);
     }
   }
@@ -466,11 +516,62 @@ void SocketNetwork::stop() {
   for (auto& thread : threads_) thread.request_stop();
   for (auto& node : nodes_) node->wake();
   threads_.clear();  // jthread joins on destruction
+  // Loop threads are joined: process state is safe to read. Record the
+  // final local-memory gauge next to the wire tallies.
+  std::uint64_t peak = 0;
+  for (auto& node : nodes_) {
+    peak = std::max(peak, node->process_unlocked().local_memory_bytes());
+  }
+  const std::scoped_lock lock(stats_mu_);
+  stats_.record_local_memory(peak);
 }
 
 void SocketNetwork::crash(ProcessId pid) {
   TBR_ENSURE(pid < cfg_.n, "pid out of range");
-  nodes_[pid]->submit(Node::Command{nullptr});
+  Node::Command cmd;
+  cmd.kind = Node::Command::Kind::kCrash;
+  nodes_[pid]->submit(std::move(cmd));
+}
+
+void SocketNetwork::recover(ProcessId pid) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  TBR_ENSURE(started_ && !stopped_, "recover needs a running network");
+  TBR_ENSURE(crashed(pid), "recover of a process that is not crashed");
+  std::function<std::unique_ptr<RegisterProcessBase>()> make;
+  if (opt_.recover_factory) {
+    make = [factory = opt_.recover_factory, cfg = cfg_, pid] {
+      return factory(cfg, pid);
+    };
+  } else {
+    TBR_ENSURE(opt_.algo == Algorithm::kTwoBit && !opt_.process_factory,
+               "recover needs Options::recover_factory");
+    make = [cfg = cfg_, pid]() -> std::unique_ptr<RegisterProcessBase> {
+      TwoBitOptions topt;
+      topt.recover_via_catchup = true;
+      return std::make_unique<TwoBitProcess>(cfg, pid, topt);
+    };
+  }
+  // Re-mesh: a brand-new TCP connection per live peer. The rejoiner adopts
+  // its ends first (FIFO per command queue), so they are in place before
+  // the recover command runs on_start (which broadcasts CATCHUP on them).
+  for (ProcessId q = 0; q < cfg_.n; ++q) {
+    if (q == pid || nodes_[q]->crashed()) continue;
+    auto [mine, theirs] = tcp::make_loopback_pair();
+    Node::Command to_self;
+    to_self.kind = Node::Command::Kind::kReattach;
+    to_self.peer = q;
+    to_self.fd = std::move(mine);
+    nodes_[pid]->submit(std::move(to_self));
+    Node::Command to_peer;
+    to_peer.kind = Node::Command::Kind::kReattach;
+    to_peer.peer = pid;
+    to_peer.fd = std::move(theirs);
+    nodes_[q]->submit(std::move(to_peer));
+  }
+  Node::Command reborn;
+  reborn.kind = Node::Command::Kind::kRecover;
+  reborn.make = std::move(make);
+  nodes_[pid]->submit(std::move(reborn));
 }
 
 bool SocketNetwork::crashed(ProcessId pid) const {

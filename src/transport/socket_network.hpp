@@ -52,6 +52,13 @@ class SocketNetwork {
     std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
                                                        ProcessId)>
         process_factory;
+
+    /// Optional override for the incarnation built by recover(). Unset +
+    /// algo == kTwoBit: a TwoBitProcess with recover_via_catchup. Unset +
+    /// any other algorithm: recovery is unavailable.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        recover_factory;
   };
 
   explicit SocketNetwork(Options options);
@@ -73,6 +80,11 @@ class SocketNetwork {
   /// Crash a process: its loop closes every socket and ignores the rest.
   void crash(ProcessId pid);
   bool crashed(ProcessId pid) const;
+  /// Rejoin a crashed process as a fresh incarnation (Options::
+  /// recover_factory): a brand-new TCP connection per live peer (whatever
+  /// the old connections still held dies with them), then the new process
+  /// starts on the loop thread and catches up from peer checkpoints.
+  void recover(ProcessId pid);
 
   MessageStats stats_snapshot() const;
   const GroupConfig& config() const noexcept { return cfg_; }

@@ -172,6 +172,13 @@ std::string read_exact_blocking(int fd, std::size_t len) {
   return out;
 }
 
+std::pair<OwnedFd, OwnedFd> make_loopback_pair() {
+  auto [listener, port] = listen_loopback(1);
+  OwnedFd dialer = connect_loopback(port);
+  OwnedFd accepted = accept_blocking(listener.get());
+  return {std::move(dialer), std::move(accepted)};
+}
+
 std::pair<OwnedFd, OwnedFd> make_wakeup_pipe() {
   int fds[2];
   if (::pipe(fds) != 0) fail("pipe");

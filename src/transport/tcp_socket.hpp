@@ -81,6 +81,12 @@ void write_all_blocking(int fd, const char* data, std::size_t len);
 /// Blocking read of exactly `len` bytes (mesh handshake only).
 std::string read_exact_blocking(int fd, std::size_t len);
 
+/// A fresh connected loopback TCP pair (ephemeral listener, dial, accept,
+/// listener closed). Crash-rejoin uses this to re-establish the channel
+/// between a restarted process and each live peer: a NEW connection, so
+/// whatever died with the old one stays dead.
+std::pair<OwnedFd, OwnedFd> make_loopback_pair();
+
 /// Self-wakeup pipe for event loops: returns {read_end, write_end}, the
 /// read end non-blocking.
 std::pair<OwnedFd, OwnedFd> make_wakeup_pipe();

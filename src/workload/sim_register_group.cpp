@@ -1,6 +1,9 @@
 #include "workload/sim_register_group.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "core/twobit_process.hpp"
 
 namespace tbr {
 
@@ -93,6 +96,19 @@ SimRegisterGroup::SimRegisterGroup(Options options)
                                 : make_constant_delay(kDefaultDelta);
   net_opt.loss_rate = options.loss_rate;
   net_opt.track_in_flight = options.track_in_flight;
+  if (options.recover_factory) {
+    net_opt.recover_factory = [cfg = cfg_,
+                               make = std::move(options.recover_factory)](
+                                  ProcessId pid) {
+      return make(cfg, pid);
+    };
+  } else if (algo_ == Algorithm::kTwoBit && !options.process_factory) {
+    net_opt.recover_factory = [cfg = cfg_](ProcessId pid) {
+      TwoBitOptions opt;
+      opt.recover_via_catchup = true;
+      return std::make_unique<TwoBitProcess>(cfg, pid, opt);
+    };
+  }
   std::vector<std::unique_ptr<ProcessBase>> group;
   if (options.process_factory) {
     group.reserve(cfg_.n);
@@ -127,12 +143,26 @@ void SimRegisterGroup::begin_read(
 void SimRegisterGroup::settle() {
   const bool drained = net_->run();
   TBR_ENSURE(drained, "protocol traffic did not drain");
+  // Quiescent point: refresh the local-memory gauge (max across live
+  // processes) so benches and CI read memory alongside the wire tallies.
+  std::uint64_t peak = 0;
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    if (net_->crashed(pid)) continue;
+    peak = std::max(peak, process(pid).local_memory_bytes());
+  }
+  net_->stats().record_local_memory(peak);
 }
 
 void SimRegisterGroup::crash(ProcessId pid) { net_->crash_now(pid); }
 
 void SimRegisterGroup::crash_at(ProcessId pid, Tick t) {
   net_->crash_at(pid, t);
+}
+
+void SimRegisterGroup::recover(ProcessId pid) { net_->recover_now(pid); }
+
+void SimRegisterGroup::recover_at(ProcessId pid, Tick t) {
+  net_->recover_at(pid, t);
 }
 
 }  // namespace tbr

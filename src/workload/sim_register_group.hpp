@@ -38,6 +38,14 @@ class SimRegisterGroup {
     /// Maintain the in-flight frame registry (SimNetwork::Options::
     /// track_in_flight); required by the P1 channel-invariant observer.
     bool track_in_flight = false;
+
+    /// Optional override for the incarnation built by recover()/recover_at.
+    /// Unset + algo == kTwoBit: a TwoBitProcess with recover_via_catchup
+    /// (it bootstraps from a peer checkpoint). Unset + any other algorithm:
+    /// recovery is unavailable.
+    std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
+                                                       ProcessId)>
+        recover_factory;
   };
   static constexpr Tick kDefaultDelta = 1000;
 
@@ -66,6 +74,11 @@ class SimRegisterGroup {
   // ---- environment ---------------------------------------------------------------
   void crash(ProcessId pid);            ///< immediately
   void crash_at(ProcessId pid, Tick t);
+  /// Rejoin a crashed pid as a fresh incarnation (see Options::
+  /// recover_factory). The rejoiner catches up from peer checkpoints; client
+  /// reads routed to it while it bootstraps are deferred, not refused.
+  void recover(ProcessId pid);
+  void recover_at(ProcessId pid, Tick t);
   SimNetwork& net() noexcept { return *net_; }
   const GroupConfig& config() const noexcept { return cfg_; }
   Algorithm algorithm() const noexcept { return algo_; }

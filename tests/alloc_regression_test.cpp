@@ -24,6 +24,7 @@
 
 #include "bench/alloc_hooks.hpp"
 #include "bench/relay_harness.hpp"
+#include "core/twobit_process.hpp"
 #include "kvstore/sharded_store.hpp"
 #include "runtime/thread_network.hpp"
 #include "sim/sim_network.hpp"
@@ -143,6 +144,51 @@ TEST(AllocRegression, TwoBitDisseminationSettlesAllocFree) {
 // inside its current chunk (one entry per write, 16 Values per libstdc++
 // chunk): protocol-state growth is the paper's open problem, not client
 // overhead, and is measured by bench_local_memory instead.
+
+TEST(AllocRegression, BoundedHistoryWorkloadIsAllocFree) {
+  // The bounded-history subsystem end to end: ACK frames, acked-prefix
+  // checkpoint advancement, and segment recycling must all ride warmed
+  // storage. Stronger than the faithful gates above: the log's footprint is
+  // flat by design, so there is no chunk-boundary caveat — every window of
+  // the whole workload (ops AND residual gossip) must be exactly zero.
+  SimRegisterGroup::Options opt;
+  opt.cfg.n = 3;
+  opt.cfg.t = 1;
+  opt.cfg.writer = 0;
+  opt.cfg.initial = Value::from_int64(0);
+  opt.algo = Algorithm::kTwoBit;
+  opt.process_factory = [](const GroupConfig& cfg, ProcessId pid) {
+    TwoBitOptions o;
+    o.bounded_history = true;
+    o.ack_interval = 1;
+    return std::make_unique<TwoBitProcess>(cfg, pid, o);
+  };
+  SimRegisterGroup group(std::move(opt));
+  RegisterClient& client = group.client();
+
+  // Warm: pools, rings, the segment freelist, acked rows, GC counters.
+  for (int k = 0; k < 64; ++k) {
+    ASSERT_TRUE(client.write_sync(Value::from_int64(k)).status.ok());
+    ASSERT_TRUE(client.read_sync((k % 2) + 1).status.ok());
+  }
+  group.settle();
+
+  std::uint64_t allocs = 0;
+  for (int k = 0; k < 32; ++k) {
+    const alloc::Window w;
+    const OpResult wr = client.write_sync(Value::from_int64(1000 + k));
+    const OpResult rd = client.read_sync((k % 2) + 1);
+    group.settle();
+    EXPECT_TRUE(wr.status.ok());
+    EXPECT_TRUE(rd.status.ok());
+    allocs += w.allocations();
+  }
+  const auto& writer = group.net().process_as<TwoBitProcess>(0);
+  EXPECT_GT(writer.gc_reclaimed_count(), 0u)
+      << "the window must actually exercise GC";
+  EXPECT_EQ(allocs, 0u)
+      << "bounded-mode steady state must be allocation-free per op";
+}
 
 TEST(AllocRegression, SimTicketClosedLoopIsAllocFree) {
   SimRegisterGroup::Options opt;

@@ -353,6 +353,183 @@ TEST(McScripted, FaithfulAlgorithmClosesTheSameWindow) {
   EXPECT_TRUE(check.ok) << check.error;
 }
 
+// ---- bounded history & crash-rejoin ----------------------------------------------
+
+// Instrumented builds pay ~20x per explored node, which would blow the
+// suite's CTest timeout on the two large explorations below. The sanitizer
+// gates are after memory/race bugs on the explored paths, not after
+// exhaustiveness — the plain release/debug runs keep the full budget.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TBR_MC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TBR_MC_SANITIZED 1
+#endif
+#endif
+
+constexpr std::size_t big_explore_budget() {
+#ifdef TBR_MC_SANITIZED
+  return 100'000;
+#else
+  return 2'000'000;
+#endif
+}
+
+TwoBitOptions bounded_opts() {
+  TwoBitOptions topt;
+  topt.bounded_history = true;
+  topt.ack_interval = 1;  // tightest GC: every applied value is acked
+  return topt;
+}
+
+std::unique_ptr<TwoBitProcess> make_bounded(const GroupConfig& cfg,
+                                            ProcessId pid) {
+  return std::make_unique<TwoBitProcess>(cfg, pid, bounded_opts());
+}
+
+std::unique_ptr<TwoBitProcess> make_rejoiner(const GroupConfig& cfg,
+                                             ProcessId pid) {
+  auto topt = bounded_opts();
+  topt.recover_via_catchup = true;
+  return std::make_unique<TwoBitProcess>(cfg, pid, topt);
+}
+
+/// Apply the first enabled choice of `kind` with argument `arg`.
+void apply_kind(McRun& run, McRun::Choice::Kind kind, std::size_t arg) {
+  const auto choices = run.enabled();
+  for (std::size_t k = 0; k < choices.size(); ++k) {
+    if (choices[k].kind == kind && choices[k].arg == arg) {
+      run.apply_enabled(k);
+      return;
+    }
+  }
+  FAIL() << "choice not enabled";
+}
+
+TEST(McBounded, AckedPrefixGcIsAtomicEverySchedule) {
+  // Acked-prefix GC under the full adversary: across every delivery order
+  // of two writes (WRITEs, ACKs, and catch-ups freely interleaved), the
+  // lemma suite — including the GC-soundness invariant that nails the
+  // window ablation — holds at every step, and every terminal history is
+  // atomic. This is the machine-checked form of "nobody ever needs a
+  // reclaimed value".
+  auto s = base(3, 1);
+  s.factory = make_bounded;
+  s.ops = {write_op(0, 1), write_op(0, 2, /*after=*/0)};
+  ExploreOptions opt;
+  opt.max_nodes = big_explore_budget();
+  const auto result = explore(s, opt);
+  EXPECT_TRUE(result.ok()) << result.violations[0].detail;
+  EXPECT_GT(result.terminal_schedules, 0u);
+}
+
+TEST(McBounded, CanonicalRunReclaimsHistory) {
+  // A plain in-order drain of three writes must actually exercise GC: with
+  // ack_interval=1 the writer's checkpoint advances as peers ack, so its
+  // base moves off genesis while the run stays consistent end to end.
+  auto s = base(3, 1);
+  s.factory = make_bounded;
+  s.ops = {write_op(0, 1), write_op(0, 2, /*after=*/0),
+           write_op(0, 3, /*after=*/1)};
+  McRun run(s);
+  while (!run.terminal()) run.apply_enabled(0);
+  EXPECT_TRUE(run.invariant_error().empty()) << run.invariant_error();
+  EXPECT_TRUE(run.liveness_error().empty()) << run.liveness_error();
+  const auto* writer = dynamic_cast<const TwoBitProcess*>(&run.process(0));
+  ASSERT_NE(writer, nullptr);
+  EXPECT_GT(writer->gc_reclaimed_count(), 0u);
+  EXPECT_GT(writer->history_base(), 0);
+  EXPECT_EQ(writer->evicted_count(), 0u) << "GC is not window eviction";
+  const auto check = SwmrChecker::check(run.records(), s.cfg.initial);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(McRecovery, RecoverChoiceResetsChannelsAndRejoins) {
+  // Mechanics of the kRecover choice: crash p1 before it sees the write,
+  // resurrect it, and watch the fresh incarnation bootstrap. The old
+  // incarnation's frames are gone, a CATCHUP broadcast appears, and at the
+  // terminal state the rejoiner has adopted the writer's checkpoint.
+  auto s = base(3, 1);
+  s.factory = make_bounded;
+  s.recover_factory = make_rejoiner;
+  s.max_crashes = 1;
+  s.crash_candidates = {1};
+  s.max_recoveries = 1;
+  s.ops = {write_op(0, 1)};
+  McRun run(s);
+
+  start_op(run, 0);  // WRITE(v1) -> p1, p2
+  apply_kind(run, McRun::Choice::Kind::kCrash, 1);
+  apply_kind(run, McRun::Choice::Kind::kRecover, 1);
+  EXPECT_EQ(run.recoveries(), 1u);
+
+  std::size_t catchups = 0;
+  for (const auto& f : run.in_flight_frames()) {
+    if (f.from == 1) {
+      EXPECT_EQ(f.type, static_cast<std::uint8_t>(TwoBitType::kCatchUp));
+      ++catchups;
+    }
+  }
+  EXPECT_EQ(catchups, 2u) << "rejoiner solicits checkpoints from both peers";
+
+  while (!run.terminal()) run.apply_enabled(0);
+  EXPECT_TRUE(run.invariant_error().empty()) << run.invariant_error();
+  EXPECT_TRUE(run.liveness_error().empty()) << run.liveness_error();
+  const auto* rejoiner = dynamic_cast<const TwoBitProcess*>(&run.process(1));
+  ASSERT_NE(rejoiner, nullptr);
+  EXPECT_TRUE(rejoiner->has_recovered());
+  EXPECT_EQ(rejoiner->wsync(1), 1) << "bootstrap caught the missed write";
+  const auto check = SwmrChecker::check(run.records(), s.cfg.initial);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(McRecovery, CrashDuringGcAnyTimingStaysAtomic) {
+  // Crash-during-GC, exhaustively: the adversary picks when p2 dies and
+  // when (always eventually, by the frontier rules) it rejoins, against a
+  // write whose ACK/GC traffic is in full swing. Every schedule must stay
+  // atomic and live — the checkpoint a rejoiner adopts from any n-t quorum
+  // dominates everything GC reclaimed while it was gone.
+  auto s = base(3, 1);
+  s.factory = make_bounded;
+  s.recover_factory = make_rejoiner;
+  s.max_crashes = 1;
+  s.crash_candidates = {2};
+  s.max_recoveries = 1;
+  s.ops = {write_op(0, 1)};
+  ExploreOptions opt;
+  opt.max_nodes = big_explore_budget();
+  const auto result = explore(s, opt);
+  EXPECT_TRUE(result.ok()) << result.violations[0].detail;
+  EXPECT_GT(result.terminal_schedules, 0u);
+}
+
+TEST(McRecovery, CheckpointCatchUpRaceWalks) {
+  // Deep sampled coverage of the checkpoint/catch-up races: two writes and
+  // a read at the crash candidate, so walks hit rejoin-while-writing,
+  // WRITE-racing-CHECKPOINT, and the deferred-read path (a read issued at
+  // a rejoiner before its bootstrap finishes completes afterwards, not
+  // never).
+  auto s = base(3, 1);
+  s.factory = make_bounded;
+  s.recover_factory = make_rejoiner;
+  s.max_crashes = 1;
+  s.crash_candidates = {2};
+  s.max_recoveries = 1;
+  s.ops = {write_op(0, 1), write_op(0, 2, /*after=*/0), read_op(2)};
+  const auto result = random_walks(s, 5'000, /*seed=*/31);
+  EXPECT_TRUE(result.ok()) << result.violations[0].detail;
+  EXPECT_EQ(result.terminal_schedules, 5'000u);
+}
+
+TEST(McRecovery, ValidationRequiresFactoryForRecoveries) {
+  auto s = base(3, 1);
+  s.ops = {write_op(0, 1)};
+  s.max_crashes = 1;
+  s.crash_candidates = {1};
+  s.max_recoveries = 1;  // no recover_factory
+  EXPECT_THROW(McRun run(s), ContractViolation);
+}
+
 // ---- random walks ----------------------------------------------------------------
 
 TEST(McRandom, DeepWalksFaithfulStayAtomic) {
