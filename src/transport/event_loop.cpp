@@ -1,0 +1,70 @@
+#include "transport/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tbr {
+
+namespace {
+// Initial wait-buffer size. It doubles whenever a wait comes back full,
+// so dense meshes converge to their working set in O(log fds) growths.
+constexpr std::size_t kInitialEvents = 64;
+
+epoll_event make_event(std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ev;
+}
+}  // namespace
+
+Epoller::Epoller() : events_(kInitialEvents) {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) throw TransportError("epoll_create1 failed");
+  epfd_ = OwnedFd(fd);
+}
+
+void Epoller::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev = make_event(events, tag);
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw TransportError(std::string("epoll_ctl(ADD) failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void Epoller::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev = make_event(events, tag);
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw TransportError(std::string("epoll_ctl(MOD) failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void Epoller::del(int fd) {
+  epoll_event ev{};
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev) != 0) {
+    throw TransportError(std::string("epoll_ctl(DEL) failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+std::span<const epoll_event> Epoller::wait(int timeout_ms) {
+  for (;;) {
+    const int rc = ::epoll_wait(epfd_.get(), events_.data(),
+                                static_cast<int>(events_.size()), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("epoll_wait failed");
+    }
+    const auto count = static_cast<std::size_t>(rc);
+    if (count == events_.size()) {
+      // The buffer filled: more fds may be ready than we can see in one
+      // wait. Level-triggered epoll re-reports them, so correctness is
+      // fine — grow so the next wait sees the whole ready set at once.
+      events_.resize(events_.size() * 2);
+    }
+    return {events_.data(), count};
+  }
+}
+
+}  // namespace tbr

@@ -1,0 +1,56 @@
+// Epoller: thin RAII wrapper over a Linux epoll instance.
+//
+// The socket runtime's multi-loop core (see socket_network.cpp) runs N
+// event loops, each multiplexing the connections of the processes sharded
+// onto it. poll(2) — the previous engine — rebuilds and rescans an fd
+// array on every iteration: O(fds) per wakeup even when one byte arrived
+// on one connection. epoll is readiness-driven: interest is registered
+// once per fd, changes are O(1) syscalls, and a wait returns only the
+// connections with work. That difference is the whole C100k story — with
+// ~10k loopback connections a poll array is 10k entries scanned per
+// event, an epoll wait is a handful.
+//
+// Ownership and threading: one Epoller per event loop, used only by that
+// loop's thread once it runs (registration from the setup thread before
+// the loop starts is safe: thread creation orders it). The events buffer
+// is recycled across waits and grows only when a wait fills it — the
+// steady state allocates nothing, same discipline as every other hot-path
+// buffer in the tree.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "transport/tcp_socket.hpp"
+
+namespace tbr {
+
+class Epoller {
+ public:
+  Epoller();
+  Epoller(const Epoller&) = delete;
+  Epoller& operator=(const Epoller&) = delete;
+
+  /// Register `fd` with the given interest set (EPOLLIN/EPOLLOUT bits).
+  /// `tag` comes back verbatim in epoll_event::data.u64.
+  void add(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Change the interest set of an already-registered fd.
+  void mod(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Deregister an fd (closing an fd deregisters it implicitly; this is
+  /// for fds that stay open but must stop reporting).
+  void del(int fd);
+
+  /// Wait for readiness, at most `timeout_ms` (-1 = block). Returns a view
+  /// into the recycled event buffer, valid until the next wait. EINTR is
+  /// retried internally.
+  std::span<const epoll_event> wait(int timeout_ms);
+
+ private:
+  OwnedFd epfd_;
+  std::vector<epoll_event> events_;
+};
+
+}  // namespace tbr

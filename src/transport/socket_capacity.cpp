@@ -1,0 +1,199 @@
+#include "transport/socket_capacity.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kAdmit,      ///< a client op arrives at its node
+  kPeerFrame,  ///< a broadcast frame reaches a peer's loop
+  kReply,      ///< a peer's reply reaches the origin's loop
+};
+
+struct Event {
+  Tick at = 0;
+  std::uint64_t seq = 0;  ///< deterministic tie-break: insertion order
+  EventKind kind = EventKind::kAdmit;
+  std::uint32_t client = 0;  // kAdmit
+  std::uint32_t op = 0;      // kPeerFrame / kReply
+  std::uint32_t peer = 0;    // kPeerFrame: the handling process
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+/// An in-flight broadcast round.
+struct OpRound {
+  std::uint32_t client = 0;
+  std::uint32_t origin = 0;
+  std::uint32_t replies = 0;
+  bool done = false;
+  Tick admitted = 0;
+};
+
+}  // namespace
+
+void SocketCapacityOptions::validate() const {
+  TBR_ENSURE(n >= 2, "capacity model needs n >= 2");
+  TBR_ENSURE(2 * t < n, "need a majority of correct processes (2t < n)");
+  TBR_ENSURE(loops >= 1, "at least one event loop");
+  TBR_ENSURE(clients >= 1 && ops_per_client >= 1, "need offered load");
+  TBR_ENSURE(service_ns >= 1, "frames must cost CPU");
+}
+
+SocketCapacityProjection project_socket_capacity(
+    const SocketCapacityOptions& opt) {
+  opt.validate();
+  const std::uint32_t loops = std::min(opt.loops, opt.n);
+  const auto loop_of = [&](std::uint32_t pid) { return pid % loops; };
+  const std::uint32_t quorum_replies = opt.n - opt.t - 1;
+
+  // Serial-resource clocks: a loop executes one frame's worth of CPU at a
+  // time; charging work at virtual time `at` starts at max(at, free_at).
+  std::vector<Tick> loop_free(loops, 0);
+  std::vector<Tick> loop_busy(loops, 0);
+  const auto charge = [&](std::uint32_t loop, Tick at) -> Tick {
+    const Tick start = std::max(at, loop_free[loop]);
+    loop_free[loop] = start + static_cast<Tick>(opt.service_ns);
+    loop_busy[loop] += static_cast<Tick>(opt.service_ns);
+    return loop_free[loop];
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap;
+  std::uint64_t seq = 0;
+  const auto push = [&](Event ev) {
+    ev.seq = seq++;
+    heap.push(ev);
+  };
+
+  // Per-process admission: at most one op in flight (the RegisterClient
+  // chain), later arrivals queue FIFO.
+  std::vector<bool> node_busy(opt.n, false);
+  std::vector<std::deque<std::pair<std::uint32_t, Tick>>> node_queue(opt.n);
+
+  std::vector<OpRound> rounds;
+  rounds.reserve(opt.clients);  // in-flight ops only; slots are recycled
+  std::vector<std::uint32_t> free_rounds;
+  std::vector<std::uint64_t> client_issued(opt.clients, 0);
+
+  SocketCapacityProjection out;
+  double latency_sum = 0;
+
+  // Start one broadcast round for (client, origin) at virtual time `at`.
+  const auto start_round = [&](std::uint32_t client, Tick at) {
+    const auto origin = client % opt.n;
+    std::uint32_t id;
+    if (!free_rounds.empty()) {
+      id = free_rounds.back();
+      free_rounds.pop_back();
+      rounds[id] = OpRound{};
+    } else {
+      id = static_cast<std::uint32_t>(rounds.size());
+      rounds.emplace_back();
+    }
+    OpRound& op = rounds[id];
+    op.client = client;
+    op.origin = origin;
+    op.admitted = at;
+    // The origin serially encodes+sends one frame per peer; each lands at
+    // the peer delay_ns after its send completes.
+    Tick cursor = at;
+    for (std::uint32_t p = 0; p < opt.n; ++p) {
+      if (p == origin) continue;
+      cursor = charge(loop_of(origin), cursor);
+      push(Event{cursor + static_cast<Tick>(opt.delay_ns), 0,
+                 EventKind::kPeerFrame, 0, id, p});
+      ++out.frames;
+    }
+  };
+
+  const auto finish_round = [&](std::uint32_t id, Tick done_at) {
+    // Copy out before start_round: it may grow `rounds` and invalidate
+    // references into it.
+    rounds[id].done = true;
+    const std::uint32_t origin = rounds[id].origin;
+    const std::uint32_t client = rounds[id].client;
+    const Tick admitted = rounds[id].admitted;
+    out.ops += 1;
+    out.completion_ns = std::max(out.completion_ns, done_at);
+    latency_sum += static_cast<double>(done_at - admitted);
+    // Free the node: start the next queued op, else mark idle.
+    if (!node_queue[origin].empty()) {
+      const auto [next_client, queued_at] = node_queue[origin].front();
+      node_queue[origin].pop_front();
+      start_round(next_client, std::max(done_at, queued_at));
+    } else {
+      node_busy[origin] = false;
+    }
+    // Closed loop: the client immediately issues its next op.
+    if (++client_issued[client] < opt.ops_per_client) {
+      push(Event{done_at, 0, EventKind::kAdmit, client, 0, 0});
+    }
+  };
+
+  for (std::uint32_t c = 0; c < opt.clients; ++c) {
+    push(Event{0, 0, EventKind::kAdmit, c, 0, 0});
+  }
+
+  while (!heap.empty()) {
+    const Event ev = heap.top();
+    heap.pop();
+    switch (ev.kind) {
+      case EventKind::kAdmit: {
+        const auto origin = ev.client % opt.n;
+        if (node_busy[origin]) {
+          node_queue[origin].emplace_back(ev.client, ev.at);
+        } else {
+          node_busy[origin] = true;
+          start_round(ev.client, ev.at);
+        }
+        break;
+      }
+      case EventKind::kPeerFrame: {
+        // Peer loop: read + decode + handler + reply send, one service
+        // charge, then the reply propagates back to the origin.
+        const Tick handled = charge(loop_of(ev.peer), ev.at);
+        push(Event{handled + static_cast<Tick>(opt.delay_ns), 0,
+                   EventKind::kReply, 0, ev.op, 0});
+        ++out.frames;
+        break;
+      }
+      case EventKind::kReply: {
+        // Every reply charges origin-loop CPU, quorum-complete or not:
+        // stragglers are work in the real runtime too. Re-index `rounds`
+        // after finish_round — it may reallocate the vector.
+        const Tick processed = charge(loop_of(rounds[ev.op].origin), ev.at);
+        rounds[ev.op].replies += 1;
+        if (!rounds[ev.op].done && rounds[ev.op].replies >= quorum_replies) {
+          finish_round(ev.op, processed);
+        }
+        if (rounds[ev.op].done && rounds[ev.op].replies == opt.n - 1) {
+          free_rounds.push_back(ev.op);  // all stragglers accounted
+        }
+        break;
+      }
+    }
+  }
+
+  out.loop_busy_ns.assign(loop_busy.begin(), loop_busy.end());
+  if (out.completion_ns > 0) {
+    out.ops_per_msec = static_cast<double>(out.ops) /
+                       (static_cast<double>(out.completion_ns) / 1e6);
+  }
+  if (out.ops > 0) {
+    out.mean_latency_us = latency_sum / static_cast<double>(out.ops) / 1e3;
+  }
+  return out;
+}
+
+}  // namespace tbr

@@ -1,0 +1,65 @@
+// project_socket_capacity — the DEPLOYMENT projection for the socket
+// runtime's multi-loop core.
+//
+// Same philosophy as project_sharded_capacity (workload/sharded_workload
+// .hpp): the perf claim behind a design change must be acceptance-gated
+// deterministically, because the CI box has one core and wall-clock
+// numbers there say nothing about a multi-loop runtime. This model runs
+// the runtime's event structure in virtual time: every event loop is a
+// serial resource with an availability clock, every frame costs
+// `service_ns` of loop CPU (encode + syscall on the send side, read +
+// decode + handler on the receive side), and the wire adds `delay_ns` of
+// propagation that consumes no CPU.
+//
+// One client operation is one broadcast round, the shape shared by the
+// two-bit WRITE and READ: the origin process sends a frame to each of
+// the n-1 peers (serialized on the origin's loop), each peer handles it
+// and sends a reply (serialized on the peer's loop), and the op
+// completes when the origin has processed n-t-1 peer replies (the n-t
+// quorum counts the origin itself). Replies beyond the quorum still
+// charge origin-loop CPU — stragglers are work, exactly as in the real
+// runtime. Admission is faithful too: at most one op in flight per
+// process (the RegisterClient chain), extra clients queue FIFO at their
+// node.
+//
+// What the projection isolates: with 1 loop, every send, handle, and
+// reply in the whole mesh serializes on one clock; with L loops the
+// per-peer handling and per-origin rounds spread over L clocks. When
+// service dominates delay (a saturated box), throughput scales with the
+// loop count until n/L processes per loop stop being the bottleneck —
+// the ≥2× at 4 loops acceptance line in bench_socket_capacity rides on
+// exactly this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace tbr {
+
+struct SocketCapacityOptions {
+  std::uint32_t n = 8;   ///< processes in the mesh
+  std::uint32_t t = 3;   ///< crash tolerance (quorum = n - t)
+  std::uint32_t loops = 1;           ///< event loops (pid % loops sharding)
+  std::uint32_t clients = 64;        ///< closed-loop clients (node = c % n)
+  std::uint64_t ops_per_client = 200;
+  std::uint64_t service_ns = 2000;   ///< loop CPU per frame sent or handled
+  std::uint64_t delay_ns = 20000;    ///< wire propagation (no CPU)
+
+  void validate() const;
+};
+
+struct SocketCapacityProjection {
+  std::uint64_t ops = 0;
+  std::uint64_t frames = 0;          ///< frames on the wire (2(n-1) per op)
+  Tick completion_ns = 0;            ///< virtual time of the last completion
+  std::vector<Tick> loop_busy_ns;    ///< CPU charged per loop
+  double ops_per_msec = 0;           ///< ops / completion millisecond
+  double mean_latency_us = 0;        ///< mean admission-to-completion
+};
+
+SocketCapacityProjection project_socket_capacity(
+    const SocketCapacityOptions& options);
+
+}  // namespace tbr

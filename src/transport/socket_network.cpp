@@ -1,6 +1,5 @@
 #include "transport/socket_network.hpp"
 
-#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +9,7 @@
 
 #include "common/contracts.hpp"
 #include "core/twobit_process.hpp"
+#include "transport/event_loop.hpp"
 #include "transport/frame_buffer.hpp"
 #include "transport/tcp_socket.hpp"
 
@@ -21,85 +21,80 @@ namespace {
 constexpr Status kCrashedStatus{StatusCode::kCrashed, "process has crashed"};
 constexpr Status kShutdownStatus{StatusCode::kShutdown,
                                  "network is shut down"};
+/// epoll tag reserved for a loop's own wakeup pipe.
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
 }  // namespace
 
-// ---- Node: one process, its sockets, its event loop -----------------------------
+// ---- Loop: one epoll event loop multiplexing a shard of the processes ----------
+//
+// Each loop owns an Epoller, a wakeup pipe, a typed command queue, and a
+// timer heap; the processes assigned to it (pid % loops) run all their
+// handlers on its thread. Connections register a Watch once — interest
+// changes are O(1) epoll_ctl calls against a cached armed-events mask,
+// nothing is rebuilt per iteration (the poll(2) engine this replaces
+// rebuilt and rescanned its whole pollfd array every wakeup).
 
-class SocketNetwork::Node final : public NetworkContext {
+class SocketNetwork::Loop {
  public:
-  Node(SocketNetwork& net, ProcessId pid,
-       std::unique_ptr<RegisterProcessBase> proc)
-      : net_(net), pid_(pid), proc_(std::move(proc)), peers_(net.cfg_.n) {
-    auto [rd, wr] = tcp::make_wakeup_pipe();
-    wake_rd_ = std::move(rd);
-    wake_wr_ = std::move(wr);
-  }
-
-  // ---- NetworkContext (loop thread only) ----------------------------------------
-  void send(ProcessId to, const Message& msg) override {
-    TBR_ENSURE(to < peers_.size() && to != pid_, "bad destination");
-    if (crashed_) return;
-    net_.record_send(msg.type, msg.wire);
-    Peer& peer = peers_[to];
-    if (!peer.alive) {
-      net_.record_drop(msg.type);
-      return;
-    }
-    // encode_into a reused scratch, then frame into the peer's outbuf: no
-    // fresh string per send (the buffer-pool discipline of the threaded
-    // runtime, ported to the socket path).
-    proc_->codec().encode_into(msg, encode_scratch_);
-    FrameBuffer::append_frame(peer.outbuf, encode_scratch_);
-    flush_out(to);
-  }
-  ProcessId self() const override { return pid_; }
-  std::uint32_t process_count() const override { return net_.cfg_.n; }
-  Tick now() const override { return net_.now(); }
-  void schedule(Tick delay, std::function<void()> fn) override {
-    TBR_ENSURE(delay > 0, "timer delay must be positive");
-    timers_.push_back(Timer{net_.now() + delay, timer_seq_++, std::move(fn)});
-    std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
-  }
-
-  // ---- mesh setup (main thread, before the loop starts) ---------------------------
-  std::uint16_t listen() {
-    auto [fd, port] = tcp::listen_loopback(static_cast<int>(net_.cfg_.n));
-    listener_ = std::move(fd);
-    return port;
-  }
-  int listener_fd() const { return listener_.get(); }
-  /// Main thread, only before start() or after stop() joins the loop.
-  RegisterProcessBase& process_unlocked() noexcept { return *proc_; }
-  void adopt_connection(ProcessId peer, OwnedFd fd) {
-    TBR_ENSURE(peer < peers_.size() && !peers_[peer].fd.valid(),
-               "duplicate connection");
-    peers_[peer].fd = std::move(fd);
-    peers_[peer].alive = true;
-  }
-  void finish_setup() {
-    listener_.reset();
-    for (ProcessId p = 0; p < peers_.size(); ++p) {
-      if (p == pid_) continue;
-      TBR_ENSURE(peers_[p].fd.valid(), "mesh incomplete");
-      tcp::set_nonblocking(peers_[p].fd.get());
-      tcp::set_nodelay(peers_[p].fd.get());
-    }
-  }
-
-  // ---- commands (any thread) -------------------------------------------------------
-  /// One marshaled request for this node's loop thread. The hot case (kOp)
-  /// is a plain pooled-OpState pointer — no promises, no shared state,
-  /// nothing to allocate per op. The cold cases are fault plumbing: a crash
-  /// marker, a fresh connection to adopt (rejoin re-meshing), and a rebirth
-  /// carrying the factory for the new incarnation.
+  /// One marshaled request for a node on this loop's thread. The hot case
+  /// (kOp) is a plain pooled-OpState pointer — no promises, no shared
+  /// state, nothing to allocate per op. The cold cases are fault plumbing:
+  /// a crash marker, a fresh connection to adopt (rejoin re-meshing), a
+  /// rebirth carrying the factory for the new incarnation, and the
+  /// slow-reader fault hook.
   struct Command {
-    enum class Kind { kOp, kCrash, kReattach, kRecover };
+    enum class Kind { kOp, kCrash, kReattach, kRecover, kReadPause };
     Kind kind = Kind::kOp;
+    Node* node = nullptr;
     OpState* op = nullptr;        // kOp
     ProcessId peer = kNoProcess;  // kReattach: whose channel this is
     OwnedFd fd;                   // kReattach: the new connection
+    bool pause = false;           // kReadPause
     std::function<std::unique_ptr<RegisterProcessBase>()> make;  // kRecover
   };
+
+  explicit Loop(SocketNetwork& net) : net_(net) {
+    auto [rd, wr] = tcp::make_wakeup_pipe();
+    wake_rd_ = std::move(rd);
+    wake_wr_ = std::move(wr);
+    epoll_.add(wake_rd_.get(), EPOLLIN, kWakeTag);
+  }
+
+  void adopt_node(Node* node) { nodes_.push_back(node); }
+
+  /// Reserve a watch slot for (node, peer). Registration with the kernel
+  /// happens at the first set_interest with a live fd.
+  std::uint32_t register_watch(Node* node, ProcessId peer) {
+    watches_.push_back(Watch{node, peer});
+    return static_cast<std::uint32_t>(watches_.size() - 1);
+  }
+
+  /// Reconcile the kernel's interest set for a watch with `events`,
+  /// issuing at most one epoll_ctl (none when nothing changed).
+  void set_interest(std::uint32_t id, int fd, std::uint32_t events) {
+    Watch& w = watches_[id];
+    if (!w.registered) {
+      epoll_.add(fd, events, id);
+      w.registered = true;
+      w.fd = fd;
+      w.armed = events;
+      return;
+    }
+    TBR_ENSURE(w.fd == fd, "watch rebound without clear_interest");
+    if (w.armed != events) {
+      epoll_.mod(fd, events, id);
+      w.armed = events;
+    }
+  }
+
+  /// The watch's fd is about to close (closing an epoll-registered fd
+  /// deregisters it in the kernel); forget our cached registration.
+  void clear_interest(std::uint32_t id) {
+    Watch& w = watches_[id];
+    w.registered = false;
+    w.armed = 0;
+    w.fd = -1;
+  }
 
   bool submit(Command&& cmd) {
     {
@@ -117,60 +112,24 @@ class SocketNetwork::Node final : public NetworkContext {
     (void)!::write(wake_wr_.get(), &byte, 1);
   }
 
-  bool crashed() const {
-    return crashed_flag_.load(std::memory_order_acquire);
-  }
+  void schedule(Node* node, std::uint64_t epoch, Tick at,
+                std::function<void()> fn);
 
-  // ---- the event loop -----------------------------------------------------------------
-  void loop(std::stop_token st) {
-    proc_->on_start(*this);
-    std::vector<pollfd> fds;
-    std::vector<ProcessId> fd_peer;  // pollfd index -> peer id (after pipe)
-    while (!st.stop_requested()) {
-      fds.clear();
-      fd_peer.clear();
-      fds.push_back(pollfd{wake_rd_.get(), POLLIN, 0});
-      for (ProcessId p = 0; p < peers_.size(); ++p) {
-        if (p == pid_ || !peers_[p].alive) continue;
-        short events = POLLIN;
-        if (!peers_[p].outbuf.empty()) events |= POLLOUT;
-        fds.push_back(pollfd{peers_[p].fd.get(), events, 0});
-        fd_peer.push_back(p);
-      }
-      const int rc = ::poll(fds.data(), fds.size(), poll_timeout_ms());
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        throw TransportError("poll failed");
-      }
-      fire_due_timers();
-      if ((fds[0].revents & POLLIN) != 0) {
-        tcp::drain_pipe(wake_rd_.get());
-        run_commands();
-      }
-      for (std::size_t k = 1; k < fds.size(); ++k) {
-        const ProcessId p = fd_peer[k - 1];
-        if (!peers_[p].alive) continue;  // a handler may have crashed us
-        if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-          read_peer(p);
-        }
-        if (peers_[p].alive && (fds[k].revents & POLLOUT) != 0) {
-          flush_out(p);
-        }
-      }
-    }
-    fail_pending();
-  }
+  void run(std::stop_token st);
 
  private:
-  struct Peer {
-    OwnedFd fd;
-    bool alive = false;
-    FrameBuffer inbuf;
-    std::string outbuf;
+  struct Watch {
+    Node* node = nullptr;
+    ProcessId peer = kNoProcess;
+    int fd = -1;
+    std::uint32_t armed = 0;
+    bool registered = false;
   };
   struct Timer {
     Tick at = 0;
     std::uint64_t seq = 0;
+    Node* node = nullptr;
+    std::uint64_t epoch = 0;
     std::function<void()> fn;
   };
   struct TimerLater {
@@ -180,7 +139,7 @@ class SocketNetwork::Node final : public NetworkContext {
     }
   };
 
-  int poll_timeout_ms() const {
+  int wait_timeout_ms() const {
     if (timers_.empty()) return -1;
     const Tick ns = timers_.front().at - net_.now();
     if (ns <= 0) return 0;
@@ -188,51 +147,293 @@ class SocketNetwork::Node final : public NetworkContext {
         std::min<Tick>((ns + 999'999) / 1'000'000, 60'000));
   }
 
-  void fire_due_timers() {
-    while (!timers_.empty() && timers_.front().at <= net_.now()) {
-      std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
-      Timer timer = std::move(timers_.back());
-      timers_.pop_back();
-      if (!crashed_ && timer.fn) timer.fn();
+  void fire_due_timers();
+  void run_commands();
+  void fail_queued_commands();
+
+  SocketNetwork& net_;
+  Epoller epoll_;
+  OwnedFd wake_rd_, wake_wr_;
+  std::vector<Node*> nodes_;  ///< the processes sharded onto this loop
+  std::vector<Watch> watches_;
+
+  std::mutex cmd_mu_;
+  std::vector<Command> commands_;
+  std::vector<Command> cmd_batch_;  ///< recycled drain buffer (loop thread)
+  bool closed_ = false;
+
+  std::vector<Timer> timers_;  // min-heap
+  std::uint64_t timer_seq_ = 0;
+};
+
+// ---- Node: one process, its connections, its handlers --------------------------
+
+class SocketNetwork::Node final : public NetworkContext {
+ public:
+  Node(SocketNetwork& net, ProcessId pid,
+       std::unique_ptr<RegisterProcessBase> proc)
+      : net_(net), pid_(pid), proc_(std::move(proc)), peers_(net.cfg_.n),
+        watch_ids_(net.cfg_.n, 0) {}
+
+  // ---- NetworkContext (owning loop thread only) ---------------------------------
+  void send(ProcessId to, const Message& msg) override {
+    TBR_ENSURE(to < peers_.size() && to != pid_, "bad destination");
+    if (crashed_) return;
+    net_.record_send(msg.type, msg.wire);
+    Connection& conn = peers_[to];
+    if (!conn.alive()) {
+      net_.record_drop(msg.type);
+      return;
+    }
+    // encode_into a reused scratch, then frame into the connection's
+    // outbuf: no fresh string per send (the buffer-pool discipline of the
+    // threaded runtime, ported to the socket path).
+    proc_->codec().encode_into(msg, encode_scratch_);
+    if (conn.queue_frame(encode_scratch_)) {
+      park_events_.fetch_add(1, std::memory_order_relaxed);
+      recompute_park();
+    }
+    const std::uint64_t queued = conn.queued_bytes();
+    if (queued > peak_outbuf_.load(std::memory_order_relaxed)) {
+      peak_outbuf_.store(queued, std::memory_order_relaxed);
+    }
+    const auto fo = conn.flush();
+    if (fo.status == IoStatus::kClosed) {
+      teardown_conn(to);
+      recompute_park();
+      return;
+    }
+    if (fo.resumed) {
+      resume_events_.fetch_add(1, std::memory_order_relaxed);
+      recompute_park();
+    }
+    update_interest(to);
+  }
+  ProcessId self() const override { return pid_; }
+  std::uint32_t process_count() const override { return net_.cfg_.n; }
+  Tick now() const override { return net_.now(); }
+  void schedule(Tick delay, std::function<void()> fn) override {
+    TBR_ENSURE(delay > 0, "timer delay must be positive");
+    loop_->schedule(this, timer_epoch_, net_.now() + delay, std::move(fn));
+  }
+
+  // ---- mesh setup (main thread, before the loops start) -------------------------
+  std::uint16_t listen() {
+    auto [fd, port] = tcp::listen_loopback(static_cast<int>(net_.cfg_.n));
+    listener_ = std::move(fd);
+    return port;
+  }
+  int listener_fd() const { return listener_.get(); }
+  /// Main thread, only before start() or after stop() joins the loops.
+  RegisterProcessBase& process_unlocked() noexcept { return *proc_; }
+
+  void attach_loop(Loop* loop, const ConnLimits& limits) {
+    loop_ = loop;
+    limits_ = limits;
+    loop->adopt_node(this);
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p == pid_) continue;
+      peers_[p].configure(limits);
+      watch_ids_[p] = loop->register_watch(this, p);
+    }
+  }
+  Loop& loop() noexcept { return *loop_; }
+
+  void adopt_connection(ProcessId peer, OwnedFd fd) {
+    TBR_ENSURE(peer < peers_.size() && !peers_[peer].alive(),
+               "duplicate connection");
+    peers_[peer].adopt(std::move(fd));
+  }
+  void apply_kernel_buffers(int fd) const {
+    if (limits_.kernel_buffer_bytes > 0) {
+      tcp::set_sndbuf(fd, limits_.kernel_buffer_bytes);
+      tcp::set_rcvbuf(fd, limits_.kernel_buffer_bytes);
     }
   }
 
-  void run_commands() {
-    // Swap the queue against the recycled batch buffer: both vectors keep
-    // their high-water capacity, so steady-state command marshaling never
-    // allocates (the old std::deque dropped its chunk on every swap).
-    cmd_batch_.clear();
-    {
-      const std::scoped_lock lock(cmd_mu_);
-      cmd_batch_.swap(commands_);
-    }
-    for (Command& cmd : cmd_batch_) {
-      switch (cmd.kind) {
-        case Command::Kind::kOp:
-          handle_op(*cmd.op);
-          break;
-        case Command::Kind::kCrash:
-          handle_crash();
-          break;
-        case Command::Kind::kReattach:
-          handle_reattach(cmd.peer, std::move(cmd.fd));
-          break;
-        case Command::Kind::kRecover:
-          handle_recover(cmd.make);
-          break;
-      }
+  void finish_setup() {
+    listener_.reset();
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p == pid_) continue;
+      TBR_ENSURE(peers_[p].alive(), "mesh incomplete");
+      tcp::set_nonblocking(peers_[p].fd());
+      tcp::set_nodelay(peers_[p].fd());
+      apply_kernel_buffers(peers_[p].fd());
+      update_interest(p);
     }
   }
 
-  // A client operation reaching its owning loop thread. The chains in
-  // RegisterClient serialize ops per process, so at most one is in flight
-  // here at a time; its identity parks in pending_op_ so the completion
-  // lambdas capture only `this` (std::function inline storage).
-  void handle_op(OpState& st) {
+  void on_loop_start() { proc_->on_start(*this); }
+
+  // ---- observers (any thread) ---------------------------------------------------
+  bool crashed() const {
+    return crashed_flag_.load(std::memory_order_acquire);
+  }
+  bool parked() const { return parked_flag_.load(std::memory_order_acquire); }
+  std::uint64_t timer_epoch() const noexcept { return timer_epoch_; }
+
+  void accumulate(BackpressureStats& out) const {
+    out.park_events += park_events_.load(std::memory_order_relaxed);
+    out.resume_events += resume_events_.load(std::memory_order_relaxed);
+    out.deferred_ops += deferred_admissions_.load(std::memory_order_relaxed);
+    out.peak_outbuf_bytes = std::max(
+        out.peak_outbuf_bytes, peak_outbuf_.load(std::memory_order_relaxed));
+    if (parked()) ++out.parked_now;
+  }
+
+  // ---- command handlers (owning loop thread) ------------------------------------
+
+  /// A client operation reaching its owning loop thread. Admission is a
+  /// FIFO: the op starts from pump_ops() once the process is idle and no
+  /// outbound channel is parked — this is where backpressure becomes a
+  /// deterministic stall of the RegisterClient submission chain instead
+  /// of an unbounded buffer.
+  void admit(OpState& st) {
     if (crashed_) {
       st.owner->complete_failed(st, kCrashedStatus);
       return;
     }
+    if (park_active_) {
+      deferred_admissions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    queued_ops_.push_back(&st);
+  }
+
+  /// Start queued ops while the process is idle and unparked. Called at
+  /// the top level of the loop iteration only — never from inside a
+  /// protocol handler, so an op's first sends can't reenter the process
+  /// mid-message.
+  void pump_ops() {
+    while (!crashed_ && !park_active_ && pending_op_ == nullptr &&
+           queued_head_ < queued_ops_.size()) {
+      OpState* st = queued_ops_[queued_head_++];
+      if (queued_head_ == queued_ops_.size()) {
+        queued_ops_.clear();  // capacity retained
+        queued_head_ = 0;
+      }
+      start_op(*st);
+    }
+  }
+
+  void handle_crash() {
+    if (crashed_) return;
+    crashed_ = true;
+    crashed_flag_.store(true, std::memory_order_release);
+    proc_->on_crash();
+    // The model lets a faulty process's last operation evaporate (§2.2);
+    // its client must still learn the outcome — fail it now, the algorithm
+    // will never complete it. Queued-but-unstarted admissions fail in
+    // arrival order behind it.
+    if (pending_op_ != nullptr) {
+      OpState& op = *pending_op_;
+      pending_op_ = nullptr;
+      op.owner->complete_failed(op, kCrashedStatus);
+    }
+    for (std::size_t k = queued_head_; k < queued_ops_.size(); ++k) {
+      queued_ops_[k]->owner->complete_failed(*queued_ops_[k], kCrashedStatus);
+    }
+    queued_ops_.clear();
+    queued_head_ = 0;
+    // A crash kills the endpoint: sockets close, peers see dead channels.
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p != pid_) teardown_conn(p);
+    }
+    ++timer_epoch_;  // pending timers die with the incarnation
+    recompute_park();
+  }
+
+  void handle_reattach(ProcessId p, OwnedFd fd) {
+    TBR_ENSURE(p < peers_.size() && p != pid_, "bad reattach peer");
+    tcp::set_nonblocking(fd.get());
+    tcp::set_nodelay(fd.get());
+    apply_kernel_buffers(fd.get());
+    // Replace whatever channel state is left: closing the old fd and
+    // clearing both buffers is the fence — every byte of the dead
+    // connection (unsent, unread, or half-framed) dies here.
+    teardown_conn(p);
+    peers_[p].adopt(std::move(fd));
+    update_interest(p);
+    recompute_park();
+  }
+
+  void handle_recover(
+      const std::function<std::unique_ptr<RegisterProcessBase>()>& make) {
+    TBR_ENSURE(crashed_, "recover of a process that is not crashed");
+    proc_ = make();
+    TBR_ENSURE(proc_ != nullptr, "recover factory returned null");
+    crashed_ = false;
+    crashed_flag_.store(false, std::memory_order_release);
+    proc_->on_start(*this);  // a rejoiner broadcasts CATCHUP here
+    // Frames that landed in an inbuf between reattach and rebirth were
+    // parked by the crashed dispatch gate; hand them over now.
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p != pid_ && peers_[p].alive()) dispatch_frames(p);
+    }
+  }
+
+  void handle_read_pause(bool paused) {
+    if (read_paused_ == paused) return;
+    read_paused_ = paused;
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p != pid_ && peers_[p].alive()) update_interest(p);
+    }
+  }
+
+  /// Readiness on the channel to `p` (owning loop thread).
+  void on_io(ProcessId p, std::uint32_t events) {
+    Connection& conn = peers_[p];
+    if (!conn.alive()) return;  // torn down earlier in this batch
+    const bool hangup = (events & (EPOLLHUP | EPOLLERR)) != 0;
+    if (((events & EPOLLIN) != 0 && !read_paused_) || hangup) {
+      const IoStatus rs = conn.read_budgeted();
+      dispatch_frames(p);
+      if (crashed_) return;
+      if (!conn.alive()) {  // a handler tore this channel down
+        recompute_park();
+        return;
+      }
+      if (rs == IoStatus::kClosed) {
+        teardown_conn(p);
+        recompute_park();
+        return;
+      }
+    }
+    if ((events & EPOLLOUT) != 0 && conn.wants_write()) {
+      const auto fo = conn.flush();
+      if (fo.status == IoStatus::kClosed) {
+        teardown_conn(p);
+        recompute_park();
+        return;
+      }
+      if (fo.resumed) {
+        resume_events_.fetch_add(1, std::memory_order_relaxed);
+        recompute_park();
+      }
+    }
+    update_interest(p);
+  }
+
+  /// Loop exit: every accepted-but-unresolved operation completes with
+  /// kShutdown — the in-protocol one first, then the admitted-but-queued
+  /// ones in arrival order.
+  void fail_all_pending() {
+    if (pending_op_ != nullptr) {
+      OpState& op = *pending_op_;
+      pending_op_ = nullptr;
+      op.owner->complete_failed(op, kShutdownStatus);
+    }
+    for (std::size_t k = queued_head_; k < queued_ops_.size(); ++k) {
+      queued_ops_[k]->owner->complete_failed(*queued_ops_[k],
+                                             kShutdownStatus);
+    }
+    queued_ops_.clear();
+    queued_head_ = 0;
+  }
+
+  bool crashed_local() const noexcept { return crashed_; }
+
+ private:
+  void start_op(OpState& st) {
     TBR_ENSURE(pending_op_ == nullptr, "per-process op overlap");
     st.start = net_.now();
     pending_op_ = &st;
@@ -255,84 +456,14 @@ class SocketNetwork::Node final : public NetworkContext {
     }
   }
 
-  void handle_crash() {
-    if (crashed_) return;
-    crashed_ = true;
-    crashed_flag_.store(true, std::memory_order_release);
-    proc_->on_crash();
-    // The model lets a faulty process's last operation evaporate (§2.2);
-    // its client must still learn the outcome — fail it now, the algorithm
-    // will never complete it.
-    if (pending_op_ != nullptr) {
-      OpState& op = *pending_op_;
-      pending_op_ = nullptr;
-      op.owner->complete_failed(op, kCrashedStatus);
-    }
-    // A crash kills the endpoint: sockets close, peers see dead channels.
-    for (Peer& peer : peers_) {
-      peer.fd.reset();
-      peer.alive = false;
-      peer.inbuf.clear();
-      peer.outbuf.clear();
-    }
-    timers_.clear();
-  }
-
-  void handle_reattach(ProcessId p, OwnedFd fd) {
-    TBR_ENSURE(p < peers_.size() && p != pid_, "bad reattach peer");
-    tcp::set_nonblocking(fd.get());
-    tcp::set_nodelay(fd.get());
-    Peer& peer = peers_[p];
-    // Replace whatever channel state is left: closing the old fd and
-    // clearing both buffers is the fence — every byte of the dead
-    // connection (unsent, unread, or half-framed) dies here.
-    peer.fd = std::move(fd);
-    peer.alive = true;
-    peer.inbuf.clear();
-    peer.outbuf.clear();
-  }
-
-  void handle_recover(
-      const std::function<std::unique_ptr<RegisterProcessBase>()>& make) {
-    TBR_ENSURE(crashed_, "recover of a process that is not crashed");
-    proc_ = make();
-    TBR_ENSURE(proc_ != nullptr, "recover factory returned null");
-    crashed_ = false;
-    crashed_flag_.store(false, std::memory_order_release);
-    proc_->on_start(*this);  // a rejoiner broadcasts CATCHUP here
-    // Frames that landed in an inbuf between reattach and rebirth were
-    // parked by the crashed dispatch gate; hand them over now.
-    for (ProcessId p = 0; p < peers_.size(); ++p) {
-      if (p != pid_ && peers_[p].alive) dispatch_frames(p);
-    }
-  }
-
-  void read_peer(ProcessId p) {
-    Peer& peer = peers_[p];
-    for (;;) {
-      const auto io = tcp::read_some(peer.fd.get(), peer.inbuf.tail(),
-                                     64 * 1024);
-      if (io.status == IoStatus::kClosed) {
-        peer.fd.reset();
-        peer.alive = false;
-        peer.inbuf.clear();
-        peer.outbuf.clear();
-        return;
-      }
-      dispatch_frames(p);
-      if (crashed_ || !peers_[p].alive) return;
-      if (io.status == IoStatus::kWouldBlock) return;
-    }
-  }
-
   void dispatch_frames(ProcessId p) {
-    Peer& peer = peers_[p];
+    Connection& conn = peers_[p];
     // A handler can tear this very buffer down mid-loop (crash command, or
     // a send to p that discovers the socket closed), so re-check liveness
     // each iteration. The ring consumes each frame in O(frame): no
     // erase(0, pos) memmove of the whole remainder per drain.
     std::string_view frame;
-    while (!crashed_ && peer.alive && peer.inbuf.next_frame(frame)) {
+    while (!crashed_ && conn.alive() && conn.next_frame(frame)) {
       // decode_into the loop's scratch Message: large payloads reuse its
       // value buffer instead of materializing a fresh string per frame.
       proc_->codec().decode_into(frame, inbound_);
@@ -340,74 +471,169 @@ class SocketNetwork::Node final : public NetworkContext {
     }
   }
 
-  void flush_out(ProcessId p) {
-    Peer& peer = peers_[p];
-    while (!peer.outbuf.empty()) {
-      const auto io = tcp::write_some(peer.fd.get(), peer.outbuf.data(),
-                                      peer.outbuf.size());
-      if (io.status == IoStatus::kOk) {
-        peer.outbuf.erase(0, io.bytes);
-        continue;
-      }
-      if (io.status == IoStatus::kClosed) {
-        peer.fd.reset();
-        peer.alive = false;
-        peer.inbuf.clear();
-        peer.outbuf.clear();
-      }
-      return;  // kWouldBlock: POLLOUT will resume
-    }
+  void teardown_conn(ProcessId p) {
+    Connection& conn = peers_[p];
+    if (!conn.alive()) return;
+    loop_->clear_interest(watch_ids_[p]);
+    conn.close();
   }
 
-  /// Loop exit: every accepted-but-unresolved operation completes with
-  /// kShutdown — the in-protocol one first, then the still-queued ones —
-  /// and later submissions bounce at submit().
-  void fail_pending() {
-    if (pending_op_ != nullptr) {
-      OpState& op = *pending_op_;
-      pending_op_ = nullptr;
-      op.owner->complete_failed(op, kShutdownStatus);
-    }
-    std::vector<Command> rest;
-    {
-      const std::scoped_lock lock(cmd_mu_);
-      closed_ = true;
-      rest.swap(commands_);
-    }
-    for (const Command& cmd : rest) {
-      if (cmd.op != nullptr) {
-        cmd.op->owner->complete_failed(*cmd.op, kShutdownStatus);
+  void update_interest(ProcessId p) {
+    Connection& conn = peers_[p];
+    if (!conn.alive()) return;
+    std::uint32_t ev = 0;
+    if (!read_paused_) ev |= EPOLLIN;
+    if (conn.wants_write()) ev |= EPOLLOUT;
+    loop_->set_interest(watch_ids_[p], conn.fd(), ev);
+  }
+
+  /// Recompute the park flag (any live outbound channel above high water)
+  /// after a transition-capable event. O(n), but only on transitions —
+  /// steady-state sends that stay inside the watermarks never call this.
+  void recompute_park() {
+    bool any = false;
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (p == pid_) continue;
+      if (peers_[p].alive() && peers_[p].paused()) {
+        any = true;
+        break;
       }
+    }
+    if (any != park_active_) {
+      park_active_ = any;
+      parked_flag_.store(any, std::memory_order_release);
     }
   }
 
   SocketNetwork& net_;
   ProcessId pid_;
   std::unique_ptr<RegisterProcessBase> proc_;
-  std::vector<Peer> peers_;
+  Loop* loop_ = nullptr;
+  ConnLimits limits_;
+  std::vector<Connection> peers_;
+  std::vector<std::uint32_t> watch_ids_;  ///< per-peer epoll watch slots
   std::string encode_scratch_;  ///< reused wire buffer (loop thread only)
   Message inbound_;             ///< decode_into scratch (loop thread only)
   OwnedFd listener_;
-  OwnedFd wake_rd_, wake_wr_;
 
-  std::mutex cmd_mu_;
-  std::vector<Command> commands_;
-  std::vector<Command> cmd_batch_;  ///< recycled drain buffer (loop thread)
-  bool closed_ = false;
-
-  std::vector<Timer> timers_;  // min-heap
-  std::uint64_t timer_seq_ = 0;
-  bool crashed_ = false;                    // loop thread's view
-  std::atomic<bool> crashed_flag_{false};   // external observers
+  /// Admission FIFO (loop thread only): ops accepted but not yet started,
+  /// drained by pump_ops() when idle and unparked. Recycled storage.
+  std::vector<OpState*> queued_ops_;
+  std::size_t queued_head_ = 0;
   /// The in-flight client operation (loop thread only): resolved by the
   /// protocol's completion callback, or failed by a crash marker or the
   /// shutdown path, whichever comes first.
   OpState* pending_op_ = nullptr;
+
+  bool crashed_ = false;                   // loop thread's view
+  std::atomic<bool> crashed_flag_{false};  // external observers
+  bool read_paused_ = false;               // slow-reader fault hook
+  bool park_active_ = false;               // loop thread's view
+  std::atomic<bool> parked_flag_{false};   // external observers
+  std::uint64_t timer_epoch_ = 0;
+
+  std::atomic<std::uint64_t> park_events_{0};
+  std::atomic<std::uint64_t> resume_events_{0};
+  std::atomic<std::uint64_t> deferred_admissions_{0};
+  std::atomic<std::uint64_t> peak_outbuf_{0};
 };
+
+// ---- Loop methods needing the complete Node type -------------------------------
+
+void SocketNetwork::Loop::schedule(Node* node, std::uint64_t epoch, Tick at,
+                                   std::function<void()> fn) {
+  timers_.push_back(Timer{at, timer_seq_++, node, epoch, std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+}
+
+void SocketNetwork::Loop::fire_due_timers() {
+  while (!timers_.empty() && timers_.front().at <= net_.now()) {
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    Timer timer = std::move(timers_.back());
+    timers_.pop_back();
+    // Epoch fencing: a crash bumps the node's epoch, so timers armed by a
+    // dead incarnation are skipped without scanning the heap.
+    if (timer.node->timer_epoch() == timer.epoch &&
+        !timer.node->crashed_local() && timer.fn) {
+      timer.fn();
+    }
+  }
+}
+
+void SocketNetwork::Loop::run_commands() {
+  // Swap the queue against the recycled batch buffer: both vectors keep
+  // their high-water capacity, so steady-state command marshaling never
+  // allocates.
+  cmd_batch_.clear();
+  {
+    const std::scoped_lock lock(cmd_mu_);
+    cmd_batch_.swap(commands_);
+  }
+  for (Command& cmd : cmd_batch_) {
+    switch (cmd.kind) {
+      case Command::Kind::kOp:
+        cmd.node->admit(*cmd.op);
+        break;
+      case Command::Kind::kCrash:
+        cmd.node->handle_crash();
+        break;
+      case Command::Kind::kReattach:
+        cmd.node->handle_reattach(cmd.peer, std::move(cmd.fd));
+        break;
+      case Command::Kind::kRecover:
+        cmd.node->handle_recover(cmd.make);
+        break;
+      case Command::Kind::kReadPause:
+        cmd.node->handle_read_pause(cmd.pause);
+        break;
+    }
+  }
+}
+
+void SocketNetwork::Loop::fail_queued_commands() {
+  std::vector<Command> rest;
+  {
+    const std::scoped_lock lock(cmd_mu_);
+    closed_ = true;
+    rest.swap(commands_);
+  }
+  for (const Command& cmd : rest) {
+    if (cmd.op != nullptr) {
+      cmd.op->owner->complete_failed(*cmd.op, kShutdownStatus);
+    }
+  }
+}
+
+void SocketNetwork::Loop::run(std::stop_token st) {
+  for (Node* node : nodes_) node->on_loop_start();
+  while (!st.stop_requested()) {
+    const auto events = epoll_.wait(wait_timeout_ms());
+    fire_due_timers();
+    for (const epoll_event& ev : events) {
+      const std::uint64_t tag = ev.data.u64;
+      if (tag == kWakeTag) {
+        tcp::drain_pipe(wake_rd_.get());
+        run_commands();
+        continue;
+      }
+      const Watch& w = watches_[tag];
+      if (!w.registered) continue;  // torn down earlier in this batch
+      w.node->on_io(w.peer, ev.events);
+    }
+    // Top-of-loop op admission: start queued client ops only here, never
+    // from inside a protocol handler (sequential-process guarantee), and
+    // only after backpressure state has settled for this batch.
+    for (Node* node : nodes_) node->pump_ops();
+  }
+  // Loop exit: fail everything accepted, then everything still queued;
+  // later submissions bounce at submit().
+  for (Node* node : nodes_) node->fail_all_pending();
+  fail_queued_commands();
+}
 
 // ---- ClientImpl: the unified client API over this runtime -------------------
 //
-// Issue = submit a Command carrying the OpState pointer to the target
+// Issue = submit a Command carrying the OpState pointer to the owning
 // node's loop thread (which resolves it with a uniform Status); park =
 // block on the client pool's condition variable. Completion is guaranteed:
 // the loop's crash and shutdown paths fail every accepted command.
@@ -426,9 +652,11 @@ class SocketNetwork::ClientImpl final : public RegisterClientEngine {
 
   void client_issue(OpState& st) override {
     TBR_ENSURE(net_.started_, "start() the network first");
-    Node::Command cmd;
+    Node* node = net_.nodes_[st.node].get();
+    Loop::Command cmd;
+    cmd.node = node;
     cmd.op = &st;
-    if (!net_.nodes_[st.node]->submit(std::move(cmd))) {
+    if (!node->loop().submit(std::move(cmd))) {
       st.owner->complete_failed(st, kShutdownStatus);
     }
   }
@@ -450,6 +678,7 @@ class SocketNetwork::ClientImpl final : public RegisterClientEngine {
 SocketNetwork::SocketNetwork(Options options)
     : cfg_(options.cfg), opt_(std::move(options)), epoch_(Clock::now()) {
   cfg_.validate();
+  opt_.limits.validate();
   TBR_ENSURE(cfg_.n >= 2, "a socket mesh needs at least two processes");
   nodes_.reserve(cfg_.n);
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
@@ -457,6 +686,20 @@ SocketNetwork::SocketNetwork(Options options)
                     ? opt_.process_factory(cfg_, pid)
                     : make_register_process(opt_.algo, cfg_, pid);
     nodes_.push_back(std::make_unique<Node>(*this, pid, std::move(proc)));
+  }
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+  std::uint32_t count =
+      opt_.loops == 0 ? std::min<std::uint32_t>(cfg_.n, hw) : opt_.loops;
+  count = std::clamp<std::uint32_t>(count, 1, cfg_.n);
+  loops_.reserve(count);
+  for (std::uint32_t l = 0; l < count; ++l) {
+    loops_.push_back(std::make_unique<Loop>(*this));
+  }
+  // Shard processes onto loops: pid % loops. Every connection of a
+  // process lives on its owner's loop — the mesh-topology analogue of
+  // sharded accept (a channel is "accepted onto" exactly one loop).
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    nodes_[pid]->attach_loop(loops_[pid % count].get(), opt_.limits);
   }
   client_impl_ = std::make_unique<ClientImpl>(*this);
 }
@@ -471,6 +714,10 @@ Tick SocketNetwork::now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                               epoch_)
       .count();
+}
+
+std::uint32_t SocketNetwork::loop_count() const noexcept {
+  return static_cast<std::uint32_t>(loops_.size());
 }
 
 void SocketNetwork::start() {
@@ -501,12 +748,14 @@ void SocketNetwork::start() {
       nodes_[j]->adopt_connection(i, std::move(dialer));
     }
   }
+  // Registers every fd with its owning loop's epoll — from this thread,
+  // before the loop threads exist (thread creation orders the memory).
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) nodes_[pid]->finish_setup();
 
-  threads_.reserve(cfg_.n);
-  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
     threads_.emplace_back(
-        [node = nodes_[pid].get()](std::stop_token st) { node->loop(st); });
+        [l = loop.get()](std::stop_token st) { l->run(st); });
   }
 }
 
@@ -514,7 +763,7 @@ void SocketNetwork::stop() {
   if (stopped_) return;
   stopped_ = true;
   for (auto& thread : threads_) thread.request_stop();
-  for (auto& node : nodes_) node->wake();
+  for (auto& loop : loops_) loop->wake();
   threads_.clear();  // jthread joins on destruction
   // Loop threads are joined: process state is safe to read. Record the
   // final local-memory gauge next to the wire tallies.
@@ -528,9 +777,10 @@ void SocketNetwork::stop() {
 
 void SocketNetwork::crash(ProcessId pid) {
   TBR_ENSURE(pid < cfg_.n, "pid out of range");
-  Node::Command cmd;
-  cmd.kind = Node::Command::Kind::kCrash;
-  nodes_[pid]->submit(std::move(cmd));
+  Loop::Command cmd;
+  cmd.kind = Loop::Command::Kind::kCrash;
+  cmd.node = nodes_[pid].get();
+  nodes_[pid]->loop().submit(std::move(cmd));
 }
 
 void SocketNetwork::recover(ProcessId pid) {
@@ -552,31 +802,56 @@ void SocketNetwork::recover(ProcessId pid) {
     };
   }
   // Re-mesh: a brand-new TCP connection per live peer. The rejoiner adopts
-  // its ends first (FIFO per command queue), so they are in place before
-  // the recover command runs on_start (which broadcasts CATCHUP on them).
+  // its ends first (FIFO per loop command queue), so they are in place
+  // before the recover command runs on_start (which broadcasts CATCHUP on
+  // them).
   for (ProcessId q = 0; q < cfg_.n; ++q) {
     if (q == pid || nodes_[q]->crashed()) continue;
     auto [mine, theirs] = tcp::make_loopback_pair();
-    Node::Command to_self;
-    to_self.kind = Node::Command::Kind::kReattach;
+    Loop::Command to_self;
+    to_self.kind = Loop::Command::Kind::kReattach;
+    to_self.node = nodes_[pid].get();
     to_self.peer = q;
     to_self.fd = std::move(mine);
-    nodes_[pid]->submit(std::move(to_self));
-    Node::Command to_peer;
-    to_peer.kind = Node::Command::Kind::kReattach;
+    nodes_[pid]->loop().submit(std::move(to_self));
+    Loop::Command to_peer;
+    to_peer.kind = Loop::Command::Kind::kReattach;
+    to_peer.node = nodes_[q].get();
     to_peer.peer = pid;
     to_peer.fd = std::move(theirs);
-    nodes_[q]->submit(std::move(to_peer));
+    nodes_[q]->loop().submit(std::move(to_peer));
   }
-  Node::Command reborn;
-  reborn.kind = Node::Command::Kind::kRecover;
+  Loop::Command reborn;
+  reborn.kind = Loop::Command::Kind::kRecover;
+  reborn.node = nodes_[pid].get();
   reborn.make = std::move(make);
-  nodes_[pid]->submit(std::move(reborn));
+  nodes_[pid]->loop().submit(std::move(reborn));
 }
 
 bool SocketNetwork::crashed(ProcessId pid) const {
   TBR_ENSURE(pid < cfg_.n, "pid out of range");
   return nodes_[pid]->crashed();
+}
+
+bool SocketNetwork::parked(ProcessId pid) const {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  return nodes_[pid]->parked();
+}
+
+SocketNetwork::BackpressureStats SocketNetwork::backpressure_snapshot()
+    const {
+  BackpressureStats out;
+  for (const auto& node : nodes_) node->accumulate(out);
+  return out;
+}
+
+void SocketNetwork::set_read_paused(ProcessId pid, bool paused) {
+  TBR_ENSURE(pid < cfg_.n, "pid out of range");
+  Loop::Command cmd;
+  cmd.kind = Loop::Command::Kind::kReadPause;
+  cmd.node = nodes_[pid].get();
+  cmd.pause = paused;
+  nodes_[pid]->loop().submit(std::move(cmd));
 }
 
 MessageStats SocketNetwork::stats_snapshot() const {

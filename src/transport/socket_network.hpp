@@ -1,9 +1,9 @@
 // SocketNetwork: the register group over real TCP sockets.
 //
 // The third runtime (after the discrete-event simulator and the in-memory
-// thread network): n processes inside this OS process, each with its own
-// poll(2) event loop thread, fully meshed over loopback TCP connections.
-// What travels between processes is the algorithm codec's wire encoding in
+// thread network): n processes inside this OS process, fully meshed over
+// loopback TCP connections, multiplexed onto N epoll event loops. What
+// travels between processes is the algorithm codec's wire encoding in
 // length-prefixed frames — the actual two-bit frames, over an actual
 // transport.
 //
@@ -15,10 +15,25 @@
 // peers observe the dead channel and drop traffic toward it, exactly the
 // model's "a crash stops the process, not its delivered packets".
 //
-// Threading: each process's handlers run only on its own loop thread (the
-// model's processes are sequential). Client operations marshal onto the
-// loop thread through a recycled command queue + wakeup pipe and complete
-// there. Timers (NetworkContext::schedule) run on the loop thread too.
+// Multi-loop core: Options::loops event-loop threads (default: one per
+// hardware thread, capped at n), each running epoll readiness over the
+// connections of the processes sharded onto it (pid % loops — the
+// mesh-topology analogue of SO_REUSEPORT sharded accept: every
+// connection lands on exactly one loop at admission time and stays
+// there). A process's handlers still run only on its owning loop thread,
+// so the model's sequential-process guarantee is untouched; what changed
+// is that loops no longer rebuild poll arrays — interest is registered
+// once and updated O(1) — and that distinct processes on distinct loops
+// make progress in parallel.
+//
+// Backpressure: every connection carries ConnLimits watermarks (see
+// transport/connection.hpp). When a peer's outbuf crosses high water the
+// connection parks and the owning process stops *admitting* client
+// operations — submissions queue in arrival order on the node and the
+// RegisterClient chain stalls deterministically instead of the outbuf
+// growing without bound. EPOLLOUT-driven flushes resume admission at low
+// water. Nothing queued is dropped or reordered. parked()/
+// backpressure_snapshot() surface the state.
 //
 // Client API: client() exposes the same unified RegisterClient as every
 // other engine (pooled Ticket/callback completions, uniform Status — see
@@ -38,6 +53,7 @@
 #include "client/client.hpp"
 #include "metrics/message_stats.hpp"
 #include "net/register_process.hpp"
+#include "transport/connection.hpp"
 #include "workload/algorithms.hpp"
 
 namespace tbr {
@@ -59,6 +75,22 @@ class SocketNetwork {
     std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
                                                        ProcessId)>
         recover_factory;
+
+    /// Event-loop threads. 0 = auto: min(n, hardware concurrency).
+    /// Processes shard onto loops by pid % loops.
+    std::uint32_t loops = 0;
+
+    /// Per-connection buffer/budget watermarks (applied to every channel).
+    ConnLimits limits;
+  };
+
+  /// Aggregate backpressure counters across all processes.
+  struct BackpressureStats {
+    std::uint64_t park_events = 0;    ///< outbufs that crossed high water
+    std::uint64_t resume_events = 0;  ///< parked outbufs drained to low water
+    std::uint64_t deferred_ops = 0;   ///< ops admitted while parked (stalled)
+    std::uint64_t peak_outbuf_bytes = 0;  ///< max queued bytes on any channel
+    std::uint32_t parked_now = 0;     ///< processes currently parked
   };
 
   explicit SocketNetwork(Options options);
@@ -86,17 +118,32 @@ class SocketNetwork {
   /// starts on the loop thread and catches up from peer checkpoints.
   void recover(ProcessId pid);
 
+  /// Event loops actually running (after auto-resolution).
+  std::uint32_t loop_count() const noexcept;
+  /// True while pid's op admission is stalled by backpressure: some
+  /// outbound channel is above high water, so newly issued operations
+  /// queue at the node instead of starting. The RegisterClient chain
+  /// stalls deterministically behind them.
+  bool parked(ProcessId pid) const;
+  BackpressureStats backpressure_snapshot() const;
+  /// Fault-injection hook (tests): while paused, pid's loop stops draining
+  /// its inbound sockets — a slow reader without descheduling a thread.
+  /// Kernel buffers fill, writers toward pid hit their watermarks.
+  void set_read_paused(ProcessId pid, bool paused);
+
   MessageStats stats_snapshot() const;
   const GroupConfig& config() const noexcept { return cfg_; }
   Tick now() const;  ///< ns since network construction
 
  private:
   class Node;
+  class Loop;
   class ClientImpl;
 
   GroupConfig cfg_;
   Options opt_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Loop>> loops_;
   std::unique_ptr<ClientImpl> client_impl_;  // engine + RegisterClient
 
   mutable std::mutex stats_mu_;

@@ -20,6 +20,8 @@ SocketWorkloadResult run_socket_workload(
   net_opt.cfg = cfg;
   net_opt.algo = options.algo;
   net_opt.process_factory = options.process_factory;
+  net_opt.loops = options.loops;
+  net_opt.limits = options.limits;
   SocketNetwork net(std::move(net_opt));
   net.start();
 
@@ -74,6 +76,7 @@ SocketWorkloadResult run_socket_workload(
   SocketWorkloadResult result;
   result.ops = log.ops();
   result.stats = net.stats_snapshot();
+  result.backpressure = net.backpressure_snapshot();
   for (ProcessId pid = 0; pid < cfg.n; ++pid) {
     if (net.crashed(pid)) continue;
     result.quota_of_correct += options.ops_per_process;

@@ -18,6 +18,10 @@ struct SocketWorkloadOptions {
   std::uint32_t ops_per_process = 24;
   /// Processes to crash (<= cfg.t, never the writer) partway through.
   std::uint32_t crashes = 0;
+  /// Event loops for the underlying SocketNetwork (0 = auto).
+  std::uint32_t loops = 0;
+  /// Per-connection buffer/budget watermarks (backpressure knobs).
+  ConnLimits limits;
   /// Optional process override (e.g. link-wrapped registers).
   std::function<std::unique_ptr<RegisterProcessBase>(const GroupConfig&,
                                                      ProcessId)>
@@ -27,6 +31,7 @@ struct SocketWorkloadOptions {
 struct SocketWorkloadResult {
   std::vector<OpRecord> ops;
   MessageStats stats;
+  SocketNetwork::BackpressureStats backpressure;
   std::uint32_t completed_by_correct = 0;
   std::uint32_t quota_of_correct = 0;
 

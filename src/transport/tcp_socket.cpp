@@ -111,6 +111,18 @@ void set_nodelay(int fd) {
   }
 }
 
+void set_sndbuf(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    fail("setsockopt(SO_SNDBUF)");
+  }
+}
+
+void set_rcvbuf(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) != 0) {
+    fail("setsockopt(SO_RCVBUF)");
+  }
+}
+
 IoResult read_some(int fd, std::string& buffer, std::size_t cap) {
   char chunk[16 * 1024];
   const std::size_t want = std::min(cap, sizeof(chunk));

@@ -69,6 +69,12 @@ OwnedFd accept_blocking(int listener_fd);
 void set_nonblocking(int fd);
 void set_nodelay(int fd);
 
+/// Shrink/grow the kernel send/receive buffers (SO_SNDBUF / SO_RCVBUF).
+/// Backpressure tests use tiny kernel buffers so a slow reader pushes the
+/// writer's userspace outbuf across high water with few frames.
+void set_sndbuf(int fd, int bytes);
+void set_rcvbuf(int fd, int bytes);
+
 /// Non-blocking read of up to `cap` bytes appended onto `buffer`.
 IoResult read_some(int fd, std::string& buffer, std::size_t cap);
 

@@ -151,6 +151,38 @@ TEST(SocketNetworkTest, MinorityCrashMidProtocol) {
   net.stop();
 }
 
+TEST(SocketNetworkTest, MultiLoopCrashAndRecoverAcrossLoops) {
+  // Crash and rejoin with processes sharded over several event loops: the
+  // reattach commands cross loop boundaries (victim and peers live on
+  // different loops), and the rejoined process serves reads again.
+  auto opt = net_options(Algorithm::kTwoBit, 5, 2);
+  opt.loops = 4;
+  SocketNetwork net(std::move(opt));
+  ASSERT_EQ(net.loop_count(), 4u);
+  net.start();
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(1)).status.ok());
+  net.crash(3);
+  while (!net.crashed(3)) {  // crash is a command on the victim's loop
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(2)).status.ok());
+  EXPECT_EQ(net.client().read_sync(1).value.to_int64(), 2);
+  net.recover(3);
+  // Rejoin re-meshes asynchronously; poll until the rejoiner serves reads.
+  OpResult out;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    out = net.client().read_sync(3);
+    if (out.status.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(out.status.ok()) << out.status.message();
+  EXPECT_EQ(out.value.to_int64(), 2);
+  EXPECT_FALSE(net.crashed(3));
+  ASSERT_TRUE(net.client().write_sync(Value::from_int64(3)).status.ok());
+  EXPECT_EQ(net.client().read_sync(3).value.to_int64(), 3);
+  net.stop();
+}
+
 TEST(SocketNetworkTest, StopIsIdempotentAndDestructorSafe) {
   SocketNetwork net(net_options(Algorithm::kTwoBit, 3, 1));
   net.start();
@@ -293,6 +325,7 @@ struct SocketLinCase {
   std::uint32_t t;
   std::uint32_t crashes;
   std::uint64_t seed;
+  std::uint32_t loops = 0;  ///< 0 = auto (see SocketNetwork::Options)
 };
 
 std::string case_name(const testing::TestParamInfo<SocketLinCase>& info) {
@@ -301,8 +334,10 @@ std::string case_name(const testing::TestParamInfo<SocketLinCase>& info) {
   for (auto& ch : name) {
     if (ch == '-') ch = '_';
   }
-  return name + "_n" + std::to_string(c.n) + "c" + std::to_string(c.crashes) +
-         "_s" + std::to_string(c.seed);
+  name += "_n" + std::to_string(c.n) + "c" + std::to_string(c.crashes) +
+          "_s" + std::to_string(c.seed);
+  if (c.loops != 0) name += "_l" + std::to_string(c.loops);
+  return name;
 }
 
 class SocketLinearizability : public testing::TestWithParam<SocketLinCase> {};
@@ -315,6 +350,7 @@ TEST_P(SocketLinearizability, ConcurrentTcpHistoryIsAtomic) {
   opt.seed = c.seed;
   opt.ops_per_process = 20;
   opt.crashes = c.crashes;
+  opt.loops = c.loops;
   const auto result = run_socket_workload(opt);
   const auto check = result.check_atomicity(opt.cfg.initial);
   EXPECT_TRUE(check.ok) << check.error;
@@ -333,7 +369,14 @@ INSTANTIATE_TEST_SUITE_P(
                     SocketLinCase{Algorithm::kAbdUnbounded, 5, 2, 0, 5},
                     SocketLinCase{Algorithm::kAbdUnbounded, 5, 2, 2, 6},
                     SocketLinCase{Algorithm::kAttiya, 3, 1, 0, 7},
-                    SocketLinCase{Algorithm::kAbdBounded, 3, 1, 0, 8}),
+                    SocketLinCase{Algorithm::kAbdBounded, 3, 1, 0, 8},
+                    // Multi-loop sweep: the same histories must stay atomic
+                    // when processes are sharded pid % loops across event
+                    // loops (cross-loop frames, timers, and crashes).
+                    SocketLinCase{Algorithm::kTwoBit, 5, 2, 0, 9, 2},
+                    SocketLinCase{Algorithm::kTwoBit, 5, 2, 2, 10, 4},
+                    SocketLinCase{Algorithm::kTwoBit, 7, 3, 3, 11, 4},
+                    SocketLinCase{Algorithm::kAbdUnbounded, 5, 2, 2, 12, 2}),
     case_name);
 
 }  // namespace

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Docs gates, stdlib-only. Run from anywhere: paths resolve from the repo root.
+
+Two checks, both fast enough for a pre-commit reflex:
+
+1. Link check: every relative markdown link in README.md and docs/*.md
+   must resolve to a file or directory inside the repo. External
+   schemes (http/https/mailto), pure fragments (#...), and links that
+   escape the repo tree (the CI badge resolves against the forge, not
+   the checkout) are skipped.
+
+2. Knob grep gate: every code-quoted identifier in the first column of
+   a table row in docs/operations.md must appear as an identifier
+   somewhere under src/. Docs cannot name a knob the code no longer
+   (or never) had.
+
+Exit code 0 = clean; 1 = any failure, each printed on its own line.
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# [text](target) — but not images' inner part or reference defs; good
+# enough for the hand-written markdown in this tree.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# | `knob_name` | ... — first cell of a table row, code-quoted.
+KNOB_RE = re.compile(r"^\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|")
+
+
+def md_files():
+    yield REPO / "README.md"
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def check_links():
+    failures = []
+    for md in md_files():
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            target = target.split("#", 1)[0]  # strip fragment
+            if not target:
+                continue  # pure fragment
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            resolved = (md.parent / target).resolve()
+            if not resolved.is_relative_to(REPO):
+                continue  # escapes the checkout (e.g. the CI badge link)
+            if not resolved.exists():
+                failures.append(
+                    f"{md.relative_to(REPO)}: broken link -> {target}")
+    return failures
+
+
+def check_knobs():
+    ops = REPO / "docs" / "operations.md"
+    if not ops.exists():
+        return [f"{ops.relative_to(REPO)}: missing"]
+    knobs = []
+    for line in ops.read_text(encoding="utf-8").splitlines():
+        m = KNOB_RE.match(line)
+        if m and m.group(1) not in ("knob", "name"):  # header rows
+            knobs.append(m.group(1))
+    if not knobs:
+        return ["docs/operations.md: no knob tables found (gate is vacuous)"]
+    haystack = "\n".join(
+        p.read_text(encoding="utf-8", errors="replace")
+        for p in sorted(SRC.rglob("*"))
+        if p.suffix in (".hpp", ".cpp") and p.is_file())
+    failures = []
+    for knob in knobs:
+        if not re.search(rf"\b{re.escape(knob)}\b", haystack):
+            failures.append(
+                f"docs/operations.md: knob `{knob}` not found under src/")
+    return failures
+
+
+def main():
+    failures = check_links() + check_knobs()
+    for f in failures:
+        print(f"FAIL {f}")
+    if failures:
+        return 1
+    n_files = sum(1 for _ in md_files())
+    print(f"docs OK: {n_files} markdown files, links resolve, "
+          f"operations.md knobs all exist under src/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
