@@ -79,6 +79,9 @@ class ShardedKvStore {
     std::function<std::unique_ptr<DelayModel>(std::uint32_t shard)>
         delay_factory;                         ///< overrides delay_ticks
     Tick service_time = 0;                     ///< SimNetwork node capacity
+    /// Event-scheduler backend for every shard's simulator
+    /// (SimNetwork::Options::scheduler_policy).
+    EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
     MuxProcess::SlotFactory register_factory;  ///< default: two-bit
   };
 

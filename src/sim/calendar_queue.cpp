@@ -1,0 +1,254 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace tbr {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+bool earlier(const SchedEntry& a, const SchedEntry& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(Options options) : opt_(options) {
+  std::uint32_t nb = kMinBuckets;
+  if (opt_.buckets > 0) {
+    nb = std::clamp(round_up_pow2(opt_.buckets), kMinBuckets, kMaxBuckets);
+  }
+  bucket_.assign(nb, kNil);
+  width_ = opt_.width > 0 ? opt_.width : 1;
+}
+
+std::uint32_t CalendarQueue::alloc_node(SchedEntry e) {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    pool_[idx].e = std::move(e);
+    pool_[idx].next = kNil;
+    return idx;
+  }
+  pool_.push_back(Node{std::move(e), kNil});
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void CalendarQueue::free_node(std::uint32_t idx) {
+  pool_[idx].e.fn = nullptr;
+  free_.push_back(idx);
+}
+
+void CalendarQueue::insert_bucket(std::uint32_t idx, std::uint64_t d) {
+  ++work_;
+  const std::uint32_t b = bucket_of(d);
+  const SchedEntry& e = pool_[idx].e;
+  std::uint32_t* link = &bucket_[b];
+  std::uint32_t walked = 0;
+  while (*link != kNil && !earlier(e, pool_[*link].e)) {
+    ++work_;
+    ++walked;
+    link = &pool_[*link].next;
+  }
+  pool_[idx].next = *link;
+  *link = idx;
+  if (walked > kLongInsertLinks) long_insert_ = true;
+}
+
+void CalendarQueue::place(std::uint32_t idx) {
+  const std::uint64_t d = day(pool_[idx].e.at);
+  const std::uint64_t nb = bucket_.size();
+  if (d >= base_day_ && d < base_day_ + nb) {
+    insert_bucket(idx, d);
+    if (d < scan_day_) scan_day_ = d;
+    if (head_valid_ && earlier(pool_[idx].e, pool_[head_node_].e)) {
+      // The new global minimum sits at the head of its bucket.
+      head_node_ = idx;
+      head_bucket_ = bucket_of(d);
+    }
+  } else {
+    // Beyond the year: unsorted far-future list, revisited at year-advance.
+    pool_[idx].next = overflow_;
+    overflow_ = idx;
+    ++overflow_count_;
+  }
+}
+
+void CalendarQueue::push(SchedEntry e) {
+  TBR_ENSURE(e.at >= 0, "event time must be non-negative");
+  const std::uint32_t idx = alloc_node(std::move(e));
+  ++size_;
+  const std::uint64_t d = day(pool_[idx].e.at);
+  max_at_ = size_ == 1 ? pool_[idx].e.at : std::max(max_at_, pool_[idx].e.at);
+  if (size_ == 1) {
+    base_day_ = scan_day_ = d;
+  } else if (d < base_day_) {
+    // Insert before the current year (drained queues re-anchor forward, so
+    // only out-of-band direct users hit this): stash the node and rebuild
+    // the window around the new minimum.
+    pool_[idx].next = overflow_;
+    overflow_ = idx;
+    ++overflow_count_;
+    resize(static_cast<std::uint32_t>(bucket_.size()));
+    return;
+  }
+  place(idx);
+  maybe_grow();
+  maybe_rewidth();
+}
+
+void CalendarQueue::ensure_head() {
+  if (head_valid_) return;
+  TBR_ENSURE(size_ > 0, "ensure_head on empty calendar queue");
+  if (overflow_count_ == size_) advance_year();
+  // Scan forward from the cursor. Within the year each day owns one bucket,
+  // so the first non-empty bucket's (sorted) head is the global minimum;
+  // overflow entries all lie beyond the year and cannot precede it.
+  for (;;) {
+    ++work_;
+    const std::uint32_t b = bucket_of(scan_day_);
+    if (bucket_[b] != kNil) {
+      head_node_ = bucket_[b];
+      head_bucket_ = b;
+      head_valid_ = true;
+      return;
+    }
+    ++scan_day_;
+  }
+}
+
+void CalendarQueue::advance_year() {
+  TBR_ENSURE(overflow_count_ == size_ && size_ > 0,
+             "advance_year needs all live events in overflow");
+  Tick lo = kNever;
+  for (std::uint32_t n = overflow_; n != kNil; n = pool_[n].next) {
+    ++work_;
+    lo = std::min(lo, pool_[n].e.at);
+  }
+  base_day_ = scan_day_ = day(lo);
+  std::uint32_t n = overflow_;
+  overflow_ = kNil;
+  overflow_count_ = 0;
+  while (n != kNil) {
+    const std::uint32_t nx = pool_[n].next;
+    ++work_;
+    place(n);
+    n = nx;
+  }
+}
+
+Tick CalendarQueue::next_time() {
+  if (size_ == 0) return kNever;
+  ensure_head();
+  return pool_[head_node_].e.at;
+}
+
+SchedEntry CalendarQueue::pop() {
+  TBR_ENSURE(size_ > 0, "pop on empty calendar queue");
+  ensure_head();
+  const std::uint32_t idx = head_node_;
+  ++work_;
+  bucket_[head_bucket_] = pool_[idx].next;
+  if (pool_[idx].next != kNil) {
+    // Same bucket = same day, sorted: the successor is the next global min.
+    head_node_ = pool_[idx].next;
+  } else {
+    head_valid_ = false;
+  }
+  SchedEntry e = std::move(pool_[idx].e);
+  free_node(idx);
+  --size_;
+  maybe_shrink();
+  return e;
+}
+
+std::uint32_t CalendarQueue::gather_all(Tick* lo, Tick* hi) {
+  *lo = kNever;
+  *hi = 0;
+  std::uint32_t head = kNil;
+  auto take = [&](std::uint32_t n) {
+    while (n != kNil) {
+      const std::uint32_t nx = pool_[n].next;
+      pool_[n].next = head;
+      head = n;
+      *lo = std::min(*lo, pool_[n].e.at);
+      *hi = std::max(*hi, pool_[n].e.at);
+      n = nx;
+    }
+  };
+  for (std::uint32_t b = 0; b < bucket_.size(); ++b) {
+    take(bucket_[b]);
+    bucket_[b] = kNil;
+  }
+  take(overflow_);
+  overflow_ = kNil;
+  overflow_count_ = 0;
+  return head;
+}
+
+void CalendarQueue::resize(std::uint32_t new_buckets) {
+  Tick lo = 0;
+  Tick hi = 0;
+  std::uint32_t n = gather_all(&lo, &hi);
+  // assign() reuses capacity when not growing, so re-widths and shrinks are
+  // allocation-free; growth allocations amortize like any vector's.
+  bucket_.assign(new_buckets, kNil);
+  if (opt_.width == 0 && size_ > 1) {
+    const Tick span = hi - lo;
+    width_ = std::max<Tick>(1, 3 * (span / static_cast<Tick>(size_ - 1)));
+  }
+  base_day_ = scan_day_ = day(lo);
+  if (size_ > 0) max_at_ = hi;  // drop staleness from long-popped maxima
+  head_valid_ = false;
+  while (n != kNil) {
+    const std::uint32_t nx = pool_[n].next;
+    ++work_;
+    place(n);
+    n = nx;
+  }
+  long_insert_ = false;  // re-places above must not re-trigger immediately
+  ++resizes_;
+}
+
+void CalendarQueue::maybe_grow() {
+  if (opt_.buckets > 0) return;
+  const std::uint32_t nb = static_cast<std::uint32_t>(bucket_.size());
+  if (size_ > 2u * nb && nb < kMaxBuckets) resize(nb * 2);
+}
+
+void CalendarQueue::maybe_shrink() {
+  if (opt_.buckets > 0) return;
+  const std::uint32_t nb = static_cast<std::uint32_t>(bucket_.size());
+  if (nb > kMinBuckets && size_ < nb / 4) resize(nb / 2);
+}
+
+void CalendarQueue::maybe_rewidth() {
+  if (!long_insert_) return;
+  long_insert_ = false;
+  if (opt_.width > 0 || size_ < 2) return;
+  // Cheap span estimate without touching every node: the largest time ever
+  // pushed minus a lower bound on the current minimum (the scan cursor's
+  // day). Both err toward a WIDER span, so a drift verdict here can only
+  // overestimate the ideal width — and the rebuild derives the exact one.
+  const Tick min_est = static_cast<Tick>(scan_day_) * width_;
+  if (max_at_ <= min_est) return;
+  const Tick est = std::max<Tick>(
+      1, 3 * ((max_at_ - min_est) / static_cast<Tick>(size_ - 1)));
+  // Hysteresis: rebuild only when >= 2x off. An irreducibly dense queue
+  // (more events than ticks in its span) re-derives the same width forever;
+  // without this band every long insert would pay an O(size) rebuild.
+  if (est >= 2 * width_ || 2 * est <= width_) {
+    resize(static_cast<std::uint32_t>(bucket_.size()));
+  }
+}
+
+}  // namespace tbr

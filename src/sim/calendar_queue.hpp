@@ -1,0 +1,177 @@
+// CalendarQueue: a bucketed O(1)-amortized scheduler for the sim event loop.
+//
+// The binary heap's O(log n) sift became the dominant per-event cost of the
+// simulator once the message path stopped allocating (~10 M events/s on one
+// core). The workloads every CI capacity projection runs — constant-Δ
+// delays, narrow uniform bands — cluster event horizons tightly, which is
+// exactly the shape a calendar queue (Brown, CACM 1988) serves in O(1)
+// amortized: a ring of `nbuckets` time buckets of `width` ticks each, where
+// an event at time `at` lives in bucket (at / width) mod nbuckets.
+//
+// Layout invariants (the "year" discipline):
+//   * day(at)      = at / width  — the event's bucket-granularity timestamp.
+//   * The bucket ring covers one YEAR: days [base_day, base_day + nbuckets).
+//     Within that window each day maps to a distinct bucket, so one bucket
+//     holds exactly one day's events, sorted by (at, insertion id).
+//   * Events beyond the year go to an unsorted OVERFLOW list; when the ring
+//     runs dry the year advances to the earliest overflow day and overflow
+//     events inside the new window redistribute into buckets.
+//   * pop scans days from a cursor (scan_day) that only moves forward within
+//     a year, so a year costs at most nbuckets empty-bucket probes total.
+//
+// Resize ("day-change") heuristic, applied only when Options leave the
+// geometry automatic: when bucketed occupancy exceeds 2 events/bucket the
+// ring doubles; under 1/4 it halves; each resize re-derives width as 3x the
+// mean inter-event gap of the live set, so the year tracks the workload's
+// event horizon. Width drift is caught separately: a steady-size churn
+// never trips the occupancy thresholds, yet the live span can collapse
+// (e.g. constant-delay tokens bunch into one delay window) leaving a stale
+// width and long per-bucket chains. A sorted insert that walks more than
+// kLongInsertLinks nodes flags the drift; the next push re-estimates the
+// width from the tracked max time and the scan cursor and rebuilds — same
+// ring size, fresh width — but only when the estimate is >= 2x off, so an
+// irreducibly dense queue does not thrash O(n) rebuilds. Every structure —
+// node pool, freelist, bucket heads — recycles exactly like the frame
+// pool: zero allocations once capacities reach their high-water marks
+// (resizes included; bucket storage keeps its capacity across re-widths).
+//
+// Total order is identical to the binary heap's: strictly ascending
+// (at, insertion id), same-time events FIFO. The golden-digest determinism
+// suite and the randomized cross-check property test pin this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/inline_fn.hpp"
+
+namespace tbr {
+
+/// Typed event entry shared by both EventQueue backends (heap + calendar).
+/// Deliver/Drain are tag-only (no closure) so scheduling them never touches
+/// the heap; kClosure carries an InlineFn.
+enum class SchedKind : std::uint8_t { kClosure, kDeliver, kDrain };
+
+struct SchedEntry {
+  Tick at = 0;
+  std::uint64_t id = 0;  ///< insertion sequence; ties on `at` break by id
+  SchedKind kind = SchedKind::kClosure;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::uint32_t frame = 0;
+  InlineFn fn;  ///< non-empty iff kind == kClosure
+};
+
+class CalendarQueue {
+ public:
+  struct Options {
+    /// Fixed bucket count (rounded up to a power of two, >= 16). 0 = start
+    /// at the minimum and let the occupancy heuristic resize the ring.
+    std::uint32_t buckets = 0;
+    /// Fixed bucket width in ticks. 0 = re-derive the width from the live
+    /// event set at every resize (3x mean inter-event gap).
+    Tick width = 0;
+  };
+
+  CalendarQueue() : CalendarQueue(Options{}) {}
+  explicit CalendarQueue(Options options);
+
+  /// Insert `e`. (e.at, e.id) must be unique; `at` may be any non-negative
+  /// tick, including times before the current cursor (the window rebases).
+  void push(SchedEntry e);
+
+  /// Remove and return the earliest entry by (at, id). Queue must be
+  /// non-empty.
+  SchedEntry pop();
+
+  /// Time of the earliest entry; kNever when empty. Amortized O(1): the
+  /// scan that locates the head is cached and reused by the next pop().
+  Tick next_time();
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Elementary scheduler operations performed so far (bucket probes, node
+  /// traversals, redistributions). Deterministic for a fixed schedule; the
+  /// events/s projection in bench_event_queue compares this against the
+  /// heap backend's comparison count.
+  std::uint64_t work_units() const noexcept { return work_; }
+
+  // Introspection for tests/benches.
+  std::uint32_t bucket_count() const noexcept {
+    return static_cast<std::uint32_t>(bucket_.size());
+  }
+  Tick bucket_width() const noexcept { return width_; }
+  std::uint64_t resizes() const noexcept { return resizes_; }
+  std::size_t overflow_size() const noexcept { return overflow_count_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kMinBuckets = 16;
+  static constexpr std::uint32_t kMaxBuckets = 1u << 20;
+  /// A sorted insert walking more links than this marks the width stale.
+  static constexpr std::uint32_t kLongInsertLinks = 16;
+
+  struct Node {
+    SchedEntry e;
+    std::uint32_t next = kNil;
+  };
+
+  std::uint64_t day(Tick at) const noexcept {
+    return static_cast<std::uint64_t>(at) / static_cast<std::uint64_t>(width_);
+  }
+  std::uint32_t bucket_of(std::uint64_t d) const noexcept {
+    return static_cast<std::uint32_t>(d) &
+           (static_cast<std::uint32_t>(bucket_.size()) - 1);
+  }
+
+  std::uint32_t alloc_node(SchedEntry e);
+  void free_node(std::uint32_t idx);
+  /// Route node `idx` to its bucket or the overflow list (window assumed
+  /// to cover day(at) >= base_day_; rebases first when it does not).
+  void place(std::uint32_t idx);
+  void insert_bucket(std::uint32_t idx, std::uint64_t d);
+  /// Locate the earliest entry and cache it (no-op when already cached).
+  void ensure_head();
+  /// All buckets empty, events only in overflow: move the year window to
+  /// the earliest overflow day and redistribute what now fits.
+  void advance_year();
+  /// Rebuild the ring with `new_buckets` buckets (and, unless pinned, a
+  /// re-derived width). O(size), amortized across the inserts/pops that
+  /// triggered it; allocation-free once capacities are warm.
+  void resize(std::uint32_t new_buckets);
+  void maybe_grow();
+  void maybe_shrink();
+  /// After a long sorted insert: rebuild with a fresh width when the live
+  /// span says the current one is >= 2x off (width-drift adaptation).
+  void maybe_rewidth();
+  /// Gather every node (buckets + overflow) into one list; returns its
+  /// head and records the min/max times seen via the out-params.
+  std::uint32_t gather_all(Tick* lo, Tick* hi);
+
+  Options opt_;
+  std::vector<Node> pool_;           ///< node storage, index-linked
+  std::vector<std::uint32_t> free_;  ///< recycled pool slots
+  std::vector<std::uint32_t> bucket_;  ///< heads; size is a power of two
+  std::uint32_t overflow_ = kNil;    ///< events beyond the current year
+  std::size_t overflow_count_ = 0;
+  std::size_t size_ = 0;
+
+  Tick width_ = 1;
+  std::uint64_t base_day_ = 0;  ///< year window = [base_day_, base_day_+nb)
+  std::uint64_t scan_day_ = 0;  ///< pop cursor, in [base_day_, base_day_+nb)
+  Tick max_at_ = 0;  ///< largest time ever pushed (span estimate's top end)
+  bool long_insert_ = false;  ///< width-drift flag set by insert_bucket
+
+  // Cached earliest entry (head of its bucket); next_time() fills it,
+  // pop() consumes it, an earlier push updates it in O(1).
+  std::uint32_t head_node_ = kNil;
+  std::uint32_t head_bucket_ = 0;
+  bool head_valid_ = false;
+
+  std::uint64_t work_ = 0;
+  std::uint64_t resizes_ = 0;
+};
+
+}  // namespace tbr

@@ -5,11 +5,29 @@
 //
 // The hot path of the simulator is "deliver one frame": those events are a
 // tagged struct (from, to, frame-pool slot), not a closure, so scheduling
-// one costs zero heap allocations once the heap's backing vector is warm.
-// Drain events (the capacity model's per-node CPU) are a second tag. The
-// general case — client scripts, crash markers, timer wrappers — remains a
+// one costs zero heap allocations once the backing storage is warm. Drain
+// events (the capacity model's per-node CPU) are a second tag. The general
+// case — client scripts, crash markers, timer wrappers — remains a
 // callable, stored in an InlineFn whose 48-byte inline buffer covers every
 // closure the engine itself creates.
+//
+// Two interchangeable backends sit behind one Options::policy knob:
+//
+//   kHeap      std::priority_queue binary heap. O(log n) per op, robust to
+//              any time distribution. The default — the golden-digest
+//              determinism constants are pinned on this policy.
+//   kCalendar  CalendarQueue bucket ring (calendar_queue.hpp). O(1)
+//              amortized for the clustered event horizons that constant/
+//              uniform delay models produce; degrades when times are
+//              heavy-tailed (overflow churn).
+//   kAuto      kCalendar when Options::clustered_delays (fed from
+//              DelayModel::clustered_delays()), else kHeap.
+//
+// Both backends pop the exact same (time, insertion-seq) total order — a
+// randomized cross-check property test and the golden-digest suite pin the
+// equivalence — and both count "work units" (heap: comparator invocations;
+// calendar: bucket probes + node traversals) so benches can project
+// relative throughput deterministically on any host.
 //
 // The queue does not know how to execute Deliver/Drain events (that needs
 // the owning network's frame pool); pop_next() hands the typed entry back
@@ -23,6 +41,7 @@
 
 #include "common/ids.hpp"
 #include "common/inline_fn.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace tbr {
 
@@ -32,8 +51,26 @@ class EventQueue {
   using Fn = InlineFn;
   /// Index into the owning network's in-flight frame pool.
   using FrameId = std::uint32_t;
+  using Kind = SchedKind;
 
-  enum class Kind : std::uint8_t { kClosure, kDeliver, kDrain };
+  enum class Policy : std::uint8_t { kHeap, kCalendar, kAuto };
+
+  struct Options {
+    Policy policy = Policy::kHeap;
+    /// kAuto hint: true when the delay model clusters event horizons
+    /// (constant / narrow-uniform), false for heavy-tailed models.
+    bool clustered_delays = true;
+    /// Calendar geometry overrides (0 = automatic). Ignored on kHeap.
+    CalendarQueue::Options calendar;
+  };
+
+  EventQueue() : EventQueue(Options{}) {}
+  explicit EventQueue(Options options);
+
+  // The heap comparator and the calendar peek cache both point back into
+  // this object; pin it.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `fn` at absolute time `at`. Returns the event's id.
   EventId schedule(Tick at, Fn fn);
@@ -46,10 +83,15 @@ class EventQueue {
   /// Schedule a service-queue drain at node `to` (capacity model).
   EventId schedule_drain(Tick at, ProcessId to);
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept {
+    return policy_ == Policy::kCalendar ? calendar_.empty() : heap_.empty();
+  }
+  std::size_t size() const noexcept {
+    return policy_ == Policy::kCalendar ? calendar_.size() : heap_.size();
+  }
 
-  /// Time of the earliest pending event; kNever when empty.
+  /// Time of the earliest pending event; kNever when empty. O(1) on the
+  /// heap, amortized O(1) on the calendar (cached earliest-bucket cursor).
   Tick next_time() const;
 
   /// A popped event, handed to the caller for dispatch.
@@ -71,18 +113,26 @@ class EventQueue {
   /// direct EventQueue users — the network uses pop_next().
   Fired run_next();
 
+  /// The resolved backend (never kAuto).
+  Policy policy() const noexcept { return policy_; }
+
+  /// Elementary scheduler operations so far: comparator invocations on the
+  /// heap, bucket probes + node traversals on the calendar. Deterministic
+  /// for a fixed schedule; bench_event_queue's events/s projection is the
+  /// ratio of the two backends' totals over an identical event stream.
+  std::uint64_t work_units() const noexcept {
+    return policy_ == Policy::kCalendar ? calendar_.work_units() : heap_work_;
+  }
+
+  /// Calendar backend introspection (geometry/resize counters). Only
+  /// meaningful when policy() == kCalendar.
+  const CalendarQueue& calendar() const noexcept { return calendar_; }
+
  private:
-  struct Entry {
-    Tick at;
-    EventId id;
-    Kind kind;
-    ProcessId from;
-    ProcessId to;
-    FrameId frame;
-    Fn fn;
-  };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    std::uint64_t* work = nullptr;
+    bool operator()(const SchedEntry& a, const SchedEntry& b) const {
+      ++*work;
       if (a.at != b.at) return a.at > b.at;
       return a.id > b.id;
     }
@@ -90,7 +140,10 @@ class EventQueue {
   EventId push(Tick at, Kind kind, ProcessId from, ProcessId to,
                FrameId frame, Fn fn);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Policy policy_ = Policy::kHeap;
+  std::uint64_t heap_work_ = 0;  ///< must precede heap_ (comparator aims here)
+  std::priority_queue<SchedEntry, std::vector<SchedEntry>, Later> heap_;
+  mutable CalendarQueue calendar_;  ///< mutable: next_time() warms its cache
   EventId next_id_ = 0;
 };
 

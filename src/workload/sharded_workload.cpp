@@ -90,6 +90,7 @@ ShardedWorkloadResult run_sharded_workload(
   store_opt.t = options.t;
   store_opt.slots_per_shard = options.slots_per_shard;
   store_opt.seed = options.seed;
+  store_opt.scheduler_policy = options.scheduler_policy;
   store_opt.coalesce_writes = options.coalesce_writes;
   store_opt.max_batch = options.max_batch;
   store_opt.min_batch = options.min_batch;
@@ -219,6 +220,7 @@ CapacityProjection project_sharded_capacity(
     SimNetwork::Options net_opt;
     net_opt.seed = options.seed ^ (0xCAFEULL * (s + 1));
     net_opt.delay = make_constant_delay(options.delay_ticks);
+    net_opt.scheduler_policy = options.scheduler_policy;
     net_opt.service_time = options.service_time;
     SimNetwork net(std::move(processes), std::move(net_opt));
 

@@ -48,6 +48,9 @@ struct ShardedWorkloadOptions {
   bool pin_shard_threads = false;
 
   // ---- shared engine/projection knobs ---------------------------------------
+  /// Event-scheduler backend for every shard's simulator
+  /// (SimNetwork::Options::scheduler_policy).
+  EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
   bool coalesce_writes = true;
   /// Batching-window cap (ops). In the projection this bounds how much a
   /// backlog can amortize; 0 = unbounded.

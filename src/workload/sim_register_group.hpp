@@ -35,6 +35,9 @@ class SimRegisterGroup {
     /// keep 0 except for the D8 model-boundary experiment.
     double loss_rate = 0.0;
 
+    /// Event-scheduler backend (SimNetwork::Options::scheduler_policy).
+    EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
+
     /// Maintain the in-flight frame registry (SimNetwork::Options::
     /// track_in_flight); required by the P1 channel-invariant observer.
     bool track_in_flight = false;

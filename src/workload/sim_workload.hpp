@@ -51,6 +51,9 @@ struct SimWorkloadOptions {
 
   /// OUT-OF-MODEL loss injection for the D8 model-boundary experiment.
   double loss_rate = 0.0;
+
+  /// Event-scheduler backend (SimNetwork::Options::scheduler_policy).
+  EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
 };
 
 struct SimWorkloadResult {

@@ -53,6 +53,14 @@ std::unique_ptr<DelayModel> parse_delay(const std::string& kind,
                           "' (const, uniform, expo, flipflop, straggler)");
 }
 
+EventQueue::Policy parse_scheduler(const std::string& kind) {
+  if (kind == "heap") return EventQueue::Policy::kHeap;
+  if (kind == "calendar") return EventQueue::Policy::kCalendar;
+  if (kind == "auto") return EventQueue::Policy::kAuto;
+  throw ContractViolation("unknown --scheduler '" + kind +
+                          "' (heap, calendar, auto)");
+}
+
 int cmd_run(FlagParser& flags) {
   SimWorkloadOptions opt;
   opt.cfg.n = static_cast<std::uint32_t>(flags.get_int("n"));
@@ -70,6 +78,7 @@ int cmd_run(FlagParser& flags) {
   opt.allow_writer_crash = flags.get_bool("crash-writer");
   opt.invariant_checks =
       flags.get_bool("invariants") && opt.algo == Algorithm::kTwoBit;
+  opt.scheduler_policy = parse_scheduler(flags.get_string("scheduler"));
   const Tick delta = flags.get_int("delta");
   const std::string delay = flags.get_string("delay");
   opt.delay_factory = [delay, delta](const GroupConfig& cfg) {
@@ -129,6 +138,7 @@ int cmd_kv(FlagParser& flags) {
   opt.coalesce_writes = flags.get_bool("coalesce-writes");
   opt.min_batch = static_cast<std::size_t>(flags.get_int("min-batch"));
   opt.pin_shard_threads = flags.get_bool("pin");
+  opt.scheduler_policy = parse_scheduler(flags.get_string("scheduler"));
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
   const auto engine = run_sharded_workload(opt);
@@ -178,6 +188,7 @@ int cmd_trace(FlagParser& flags) {
   gopt.algo = algo;
   gopt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   gopt.delay = make_constant_delay(delta);
+  gopt.scheduler_policy = parse_scheduler(flags.get_string("scheduler"));
   SimRegisterGroup group(std::move(gopt));
 
   TraceLog trace;
@@ -322,6 +333,8 @@ int real_main(int argc, char** argv) {
   flags.add_int("delta", 1000, "base message delay in ticks");
   flags.add_string("delay", "uniform",
                    "const | uniform | expo | flipflop | straggler");
+  flags.add_string("scheduler", "heap",
+                   "event scheduler: heap | calendar | auto (run/trace/kv)");
   flags.add_int("think", 500, "max think time between ops (run)");
   flags.add_int("crashes", 0, "processes to crash (run)");
   flags.add_bool("crash-writer", false, "writer is crash-eligible (run)");
