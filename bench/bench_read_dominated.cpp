@@ -7,19 +7,36 @@
 // shape: twobit's traffic tracks abd-unbounded (cheap reads dominate, its
 // O(n^2) writes amortize), both far below the bounded baselines; twobit
 // read latency matches abd-unbounded while carrying 2-bit control frames.
+//
+// The fast-path read engines (src/fastread/) add two more sections:
+//   D1b  constant-Δ quiescent latencies — the textbook numbers (2Δ reads
+//        for timeeff, 3Δ for ohram's one-and-a-half rounds, 2Δ writes).
+//   D1c  the ACCEPTANCE sweep — reads racing a continuous writer over
+//        heavy-tailed delays. This is where the engines earn their keep:
+//        a two-bit replica parks its PROCEED for any reader that has not
+//        yet stored the replica's freshness point, so straggling WRITE
+//        gossip stalls reads; the time-efficient read never waits on the
+//        reader's own catch-up, and the Oh-RAM relay round completes from
+//        whichever n-t relay sets arrive first, hedging slow channels.
+//        Fixed seed + virtual time = the speedups are exact constants.
+#include <algorithm>
+
 #include "bench_common.hpp"
 
 namespace tbr::bench {
 namespace {
 
-void run() {
+void run_mixed_workload() {
   print_header("D1: read-dominated mixed workload (n=9, t=4)",
                "twobit ~ abd-unbounded traffic; bounded baselines pay 10x+");
 
   constexpr std::uint32_t n = 9;
+  std::vector<Algorithm> algos = all_algorithms();
+  for (const auto algo : fastread_algorithms()) algos.push_back(algo);
+
   TextTable table({"algorithm", "ops", "total msgs", "msgs/op",
                    "control Kbits", "read lat p50/p99 (D units)"});
-  for (const auto algo : all_algorithms()) {
+  for (const auto algo : algos) {
     SimWorkloadOptions opt;
     opt.cfg = make_cfg(n);
     opt.algo = algo;
@@ -43,13 +60,103 @@ void run() {
       << "who wins: twobit and abd-unbounded are within a small factor on\n"
       << "msgs/op (reads are O(n) for both; twobit pays O(n^2) only on the\n"
       << "rare writes) — but twobit ships ~2 control bits per frame vs the\n"
-      << "others' growing/polynomial control payloads (control Kbits col).\n";
+      << "others' growing/polynomial control payloads (control Kbits col).\n"
+      << "ohram trades read messages (O(n^2) relays) for tail latency;\n"
+      << "timeeff matches twobit's traffic with echo-on-adopt writes.\n\n";
+}
+
+void run_quiescent_latency() {
+  print_header(
+      "D1b: sequential op latency, constant delay (n=5, t=2)",
+      "uncontended reads: 2D for twobit/timeeff, 3D for ohram's "
+      "one-and-a-half rounds; all writes 2D");
+
+  constexpr std::uint32_t n = 5;
+  std::vector<Algorithm> engines = {Algorithm::kTwoBit};
+  for (const auto algo : fastread_algorithms()) engines.push_back(algo);
+
+  TextTable table({"engine", "read lat (D)", "read msgs", "write lat (D)",
+                   "write msgs"});
+  for (const auto algo : engines) {
+    const OpTraffic op = measure_op_traffic(algo, n);
+    table.add_row({algorithm_name(algo),
+                   format_double(static_cast<double>(op.read_latency) /
+                                 kDelta, 1),
+                   format_count(op.read_msgs),
+                   format_double(static_cast<double>(op.write_latency) /
+                                 kDelta, 1),
+                   format_count(op.write_msgs)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "quiescent reads do not separate the engines — the two-bit read\n"
+      << "is already one round trip when nothing is being written. The\n"
+      << "fast path pays off under write concurrency (D1c below).\n\n";
+}
+
+void run_racing_acceptance() {
+  print_header(
+      "D1c: reads racing a continuous writer (n=9, t=4, heavy-tail delays)",
+      "fastread engines keep reads off the writer's gossip critical path");
+
+  // Closed loops, zero think time: the writer streams writes while every
+  // other process streams reads, over exponential channel delays (mean
+  // 250 ticks, cap 8000). Deterministic: fixed seed, virtual time — the
+  // mean latencies below are exact constants, reproducible on every run.
+  constexpr std::uint32_t n = 9;
+  const auto mean_read_latency = [](Algorithm algo) {
+    SimWorkloadOptions opt;
+    opt.cfg = make_cfg(n);
+    opt.algo = algo;
+    opt.seed = 42;
+    opt.ops_per_process = 40;
+    opt.writer_read_fraction = 0.0;
+    opt.think_time_max = 0;
+    opt.delay_factory = [](const GroupConfig&) {
+      return make_exponential_delay(kDelta / 4, kDelta * 8);
+    };
+    return run_sim_workload(opt).read_latency.mean();
+  };
+
+  const double base = mean_read_latency(Algorithm::kTwoBit);
+  TextTable table({"engine", "mean read lat (D units)", "speedup vs twobit"});
+  table.add_row({"twobit", format_double(base / kDelta, 2), "1.00x"});
+  double min_speedup = 0.0;
+  for (const auto algo : fastread_algorithms()) {
+    const double mean = mean_read_latency(algo);
+    const double speedup = base / mean;
+    if (min_speedup == 0.0) {
+      min_speedup = speedup;
+    } else {
+      min_speedup = std::min(min_speedup, speedup);
+    }
+    table.add_row({algorithm_name(algo), format_double(mean / kDelta, 2),
+                   format_double(speedup, 2) + "x"});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "why: a two-bit replica parks its PROCEED until the reader stores\n"
+      << "the replica's freshness point, so reads wait on straggling WRITE\n"
+      << "gossip. timeeff readers pin the quorum max and never wait on\n"
+      << "their own catch-up; ohram readers complete from the first n-t\n"
+      << "relay quorums, hedging slow channels. Under capacity saturation\n"
+      << "(service_time > 0) queueing dominates all three equally, so the\n"
+      << "channel-delay model is where the protocol difference lives.\n\n";
+
+  // The slowest of the two engines must clear the bar: the subsystem's
+  // claim is that EVERY fastread engine beats two-bit reads in this mix.
+  std::printf(
+      "acceptance: fastread read-latency speedup = %.2fx "
+      "(criterion: >= 1.25x)\n",
+      min_speedup);
 }
 
 }  // namespace
 }  // namespace tbr::bench
 
 int main() {
-  tbr::bench::run();
+  tbr::bench::run_mixed_workload();
+  tbr::bench::run_quiescent_latency();
+  tbr::bench::run_racing_acceptance();
   return 0;
 }

@@ -1,0 +1,294 @@
+#include "fastread/ohram_process.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tbr {
+
+namespace {
+constexpr SeqNo kReaderBits = 8;  // RELAY packs the reader id into aux
+}
+
+OhRamProcess::OhRamProcess(GroupConfig cfg, ProcessId self)
+    : RegisterProcessBase(std::move(cfg), self), val_(cfg_.initial) {
+  TBR_ENSURE(cfg_.n <= (1u << kReaderBits),
+             "ohram RELAY frames pack the reader id into one aux byte");
+  slots_.resize(cfg_.n);
+  for (auto& slot : slots_) slot.seen.resize(cfg_.n, 0);
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+void OhRamProcess::adopt(SeqNo seq, const Value& v) {
+  if (seq > ts_) {
+    ts_ = seq;
+    val_ = v;
+  }
+}
+
+void OhRamProcess::broadcast(NetworkContext& net, Message& msg) {
+  msg.wire = codec().account(msg);
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) net.send(j, msg);
+  }
+}
+
+// ---- write ------------------------------------------------------------------
+
+void OhRamProcess::start_write(NetworkContext& net, Value v, WriteDone done) {
+  TBR_ENSURE(is_writer(), "only the writer p_w may invoke write()");
+  TBR_ENSURE(done != nullptr, "write needs a completion callback");
+  begin_operation("write");
+
+  wsn_ += 1;
+  adopt(wsn_, v);  // the writer itself is one of the n replicas
+
+  pw_.active = true;
+  pw_.acks = 1;  // self
+  pw_.done = std::move(done);
+
+  out_.type = static_cast<std::uint8_t>(OhRamType::kWrite);
+  out_.aux = 0;
+  out_.seq = wsn_;
+  out_.has_value = true;
+  out_.value = val_;
+  out_.debug_index = wsn_;
+  broadcast(net, out_);
+
+  if (pw_.acks >= cfg_.quorum()) finish_write(net);  // n-t may be 1
+}
+
+void OhRamProcess::finish_write(NetworkContext&) {
+  WriteDone done = std::move(pw_.done);
+  pw_.active = false;
+  end_operation();
+  done();
+}
+
+// ---- read -------------------------------------------------------------------
+
+void OhRamProcess::start_read(NetworkContext& net, ReadDone done) {
+  TBR_ENSURE(done != nullptr, "read needs a completion callback");
+  begin_operation("read");
+
+  const SeqNo tag = ++read_tag_;
+  pr_.active = true;
+  pr_.write_back = false;
+  pr_.tag = tag;
+  pr_.acks = 0;
+  pr_.wb_acks = 0;
+  pr_.have_first = false;
+  pr_.all_same = true;
+  pr_.first_seq = 0;
+  pr_.best_seq = -1;  // any ack (including ts 0) must fold its value
+  pr_.done = std::move(done);
+
+  // The READ broadcast carries our state: it IS our relay to everyone.
+  out_.type = static_cast<std::uint8_t>(OhRamType::kRead);
+  out_.aux = tag;
+  out_.seq = ts_;
+  out_.has_value = true;
+  out_.value = val_;
+  out_.debug_index = ts_;
+  broadcast(net, out_);
+
+  // Seed our own relay set; with n-t == 1 this self-acks and completes.
+  observe_relay(net, self_, tag, self_, ts_, val_);
+}
+
+void OhRamProcess::observe_relay(NetworkContext& net, ProcessId reader,
+                                 SeqNo tag, ProcessId from, SeqNo seq,
+                                 const Value& v) {
+  TBR_ENSURE(reader < cfg_.n, "relay names an out-of-range reader");
+  RelaySlot& slot = slots_[reader];
+  if (tag < slot.tag) return;  // stale traffic from a finished read
+  if (tag > slot.tag) {
+    // First sight of this read: reset the slot, seed it with our own
+    // state, and relay that state to everyone else. (When we are the
+    // reader, the READ broadcast already was our relay.)
+    slot.tag = tag;
+    slot.acked = false;
+    std::fill(slot.seen.begin(), slot.seen.end(), std::uint8_t{0});
+    slot.seen[self_] = 1;
+    slot.relays = 1;
+    slot.best_seq = ts_;
+    slot.best_val = val_;
+    if (reader != self_) {
+      relay_out_.type = static_cast<std::uint8_t>(OhRamType::kRelay);
+      relay_out_.aux = (tag << kReaderBits) | static_cast<SeqNo>(reader);
+      relay_out_.seq = ts_;
+      relay_out_.has_value = true;
+      relay_out_.value = val_;
+      relay_out_.debug_index = ts_;
+      broadcast(net, relay_out_);
+    }
+  }
+  if (slot.seen[from] == 0) {
+    slot.seen[from] = 1;
+    slot.relays += 1;
+    if (seq > slot.best_seq) {
+      slot.best_seq = seq;
+      slot.best_val = v;
+    }
+  }
+  maybe_ack(net, reader);
+}
+
+void OhRamProcess::maybe_ack(NetworkContext& net, ProcessId reader) {
+  RelaySlot& slot = slots_[reader];
+  if (slot.acked || slot.relays < cfg_.quorum()) return;
+  slot.acked = true;
+  // Adopt before acking: n-t ackers each storing ≥ the reported timestamp
+  // is exactly what makes the fast path atomic.
+  adopt(slot.best_seq, slot.best_val);
+  if (reader == self_) {
+    fold_read_ack(net, slot.tag, slot.best_seq, slot.best_val);
+    return;
+  }
+  out_.type = static_cast<std::uint8_t>(OhRamType::kReadAck);
+  out_.aux = slot.tag;
+  out_.seq = slot.best_seq;
+  out_.has_value = true;
+  out_.value = slot.best_val;
+  out_.debug_index = slot.best_seq;
+  out_.wire = codec().account(out_);
+  net.send(reader, out_);
+}
+
+void OhRamProcess::fold_read_ack(NetworkContext& net, SeqNo tag, SeqNo seq,
+                                 const Value& v) {
+  if (!pr_.active || pr_.write_back || tag != pr_.tag) return;
+  if (!pr_.have_first) {
+    pr_.have_first = true;
+    pr_.first_seq = seq;
+  } else if (seq != pr_.first_seq) {
+    pr_.all_same = false;
+  }
+  if (seq > pr_.best_seq) {
+    pr_.best_seq = seq;
+    pr_.best_val = v;
+  }
+  pr_.acks += 1;
+  if (pr_.acks < cfg_.quorum()) return;
+  if (pr_.all_same) {
+    ++fast_reads_;
+    finish_read(net);  // 1.5 rounds: no write was concurrent
+  } else {
+    ++fallback_reads_;
+    start_write_back(net);
+  }
+}
+
+void OhRamProcess::start_write_back(NetworkContext& net) {
+  pr_.write_back = true;
+  pr_.wb_acks = 1;  // self
+  adopt(pr_.best_seq, pr_.best_val);
+
+  out_.type = static_cast<std::uint8_t>(OhRamType::kWriteBack);
+  out_.aux = pr_.tag;
+  out_.seq = pr_.best_seq;
+  out_.has_value = true;
+  out_.value = pr_.best_val;
+  out_.debug_index = pr_.best_seq;
+  broadcast(net, out_);
+
+  if (pr_.wb_acks >= cfg_.quorum()) finish_read(net);  // n-t may be 1
+}
+
+void OhRamProcess::finish_read(NetworkContext&) {
+  ReadDone done = std::move(pr_.done);
+  const SeqNo index = pr_.best_seq;
+  // Swap the result out of pr_ so a re-entrant next operation can reuse
+  // pr_.best_val without disturbing what the callback sees.
+  result_val_.mutable_bytes().swap(pr_.best_val.mutable_bytes());
+  pr_.active = false;
+  end_operation();
+  done(result_val_, index);
+}
+
+// ---- message handling -------------------------------------------------------
+
+void OhRamProcess::on_message(NetworkContext& net, ProcessId from,
+                              const Message& msg) {
+  TBR_ENSURE(!crashed_, "runtime delivered a message to a crashed process");
+  TBR_ENSURE(from < cfg_.n && from != self_, "bad sender");
+  switch (static_cast<OhRamType>(msg.type)) {
+    case OhRamType::kWrite: {
+      adopt(msg.seq, msg.value);
+      out_.type = static_cast<std::uint8_t>(OhRamType::kWriteAck);
+      out_.aux = 0;
+      out_.seq = msg.seq;
+      out_.has_value = false;
+      out_.debug_index = msg.seq;
+      out_.wire = codec().account(out_);
+      net.send(from, out_);
+      break;
+    }
+    case OhRamType::kWriteAck: {
+      if (pw_.active && msg.seq == wsn_) {
+        pw_.acks += 1;
+        if (pw_.acks >= cfg_.quorum()) finish_write(net);
+      }
+      break;
+    }
+    case OhRamType::kRead: {
+      // The READ broadcast is the reader's own relay.
+      observe_relay(net, from, msg.aux, from, msg.seq, msg.value);
+      break;
+    }
+    case OhRamType::kRelay: {
+      const auto reader =
+          static_cast<ProcessId>(msg.aux & ((1 << kReaderBits) - 1));
+      observe_relay(net, reader, msg.aux >> kReaderBits, from, msg.seq,
+                    msg.value);
+      break;
+    }
+    case OhRamType::kReadAck: {
+      fold_read_ack(net, msg.aux, msg.seq, msg.value);
+      break;
+    }
+    case OhRamType::kWriteBack: {
+      adopt(msg.seq, msg.value);
+      out_.type = static_cast<std::uint8_t>(OhRamType::kWriteBackAck);
+      out_.aux = msg.aux;
+      out_.seq = 0;
+      out_.has_value = false;
+      out_.debug_index = msg.seq;
+      out_.wire = codec().account(out_);
+      net.send(from, out_);
+      break;
+    }
+    case OhRamType::kWriteBackAck: {
+      if (pr_.active && pr_.write_back && msg.aux == pr_.tag) {
+        pr_.wb_acks += 1;
+        if (pr_.wb_acks >= cfg_.quorum()) finish_read(net);
+      }
+      break;
+    }
+    default:
+      TBR_ENSURE(false, "unknown ohram frame type");
+  }
+}
+
+void OhRamProcess::on_crash() { crashed_ = true; }
+
+std::uint64_t OhRamProcess::local_memory_bytes() const {
+  // Replica pair + counters + the n relay slots with their n-bit seen sets:
+  // O(n²) bits of relay bookkeeping, the price of the 1.5-round read.
+  std::uint64_t bytes = 8 /*ts*/ + val_.size() + 8 /*wsn*/ + 8 /*read_tag*/;
+  for (const auto& slot : slots_) {
+    bytes += 8 /*tag*/ + 8 /*best_seq*/ + 4 /*relays*/ + 1 /*acked*/ +
+             slot.seen.size() + slot.best_val.size();
+  }
+  bytes += pr_.best_val.size();
+  return bytes;
+}
+
+// ---- factory ----------------------------------------------------------------
+
+std::unique_ptr<RegisterProcessBase> make_ohram_process(GroupConfig cfg,
+                                                        ProcessId self) {
+  return std::make_unique<OhRamProcess>(std::move(cfg), self);
+}
+
+}  // namespace tbr

@@ -1,0 +1,138 @@
+// OhRamProcess: one-and-a-half-round atomic SWMR reads (Oh-RAM! style,
+// Hadjistasi–Nicolaou–Schwarzmann), adapted to this repository's symmetric
+// process groups.
+//
+// Write (2Δ): the writer increments wsn, adopts locally, broadcasts
+// WRITE(wsn, v) and completes on n-t WRITE_ACKs (self included).
+//
+// Read (3Δ fast / 5Δ fallback): the reader picks a fresh tag and broadcasts
+// READ(tag, ts_r, v_r) — the broadcast doubles as the reader's own relay.
+// Every process, on FIRST sight of (reader, tag) via READ or RELAY, relays
+// its own state with RELAY(tag, reader, ts_p, v_p) to everyone else and
+// starts folding a relay set seeded with its own state. Once a process has
+// relays from n-t distinct processes it adopts the best pair it folded and
+// reports it to the reader with READ_ACK(tag, best) — the reader counts
+// itself as an acker the moment its own relay set completes. The reader
+// finishes on n-t READ_ACKs:
+//
+//   * all acks report the SAME timestamp  → return it (1.5 rounds, 3Δ);
+//   * timestamps disagree (a write is concurrent) → fall back to one
+//     write-back round: broadcast WRITE_BACK(tag, max), await n-t
+//     WRITE_BACK_ACKs (self included), return the max (5Δ).
+//
+// Atomicity of the fast path: each of the n-t ackers adopted a state ≥ T
+// before acking, so a quorum stores ≥ T when the read returns; any later
+// read's per-acker relay sets (size n-t) intersect that quorum (n-2t ≥ 1),
+// so every later ack is ≥ T. The fallback path quorum-stores the max
+// explicitly, ABD-style. The protocol trades messages for latency: reads
+// cost O(n²) frames where the two-bit engine pays O(n).
+//
+// Steady state is allocation-free: relay slots, their seen-sets and every
+// outbound frame are fixed-capacity members sized at construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fastread/fastread_codec.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+class OhRamProcess final : public RegisterProcessBase {
+ public:
+  OhRamProcess(GroupConfig cfg, ProcessId self);
+
+  // ---- RegisterProcessBase -----------------------------------------------
+  void start_write(NetworkContext& net, Value v, WriteDone done) override;
+  void start_read(NetworkContext& net, ReadDone done) override;
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+  std::uint64_t local_memory_bytes() const override;
+  const Codec& codec() const override { return ohram_codec(); }
+
+  // ---- introspection -----------------------------------------------------
+  SeqNo replica_seq() const noexcept { return ts_; }
+  const Value& replica_value() const noexcept { return val_; }
+  bool crashed() const noexcept { return crashed_; }
+  /// Reads completed without the write-back round (the 1.5-round path).
+  std::uint64_t fast_reads() const noexcept { return fast_reads_; }
+  /// Reads that fell back to the write-back round.
+  std::uint64_t fallback_reads() const noexcept { return fallback_reads_; }
+
+ private:
+  /// Per-reader relay collection: one slot per possible reader, recycled
+  /// across that reader's tags.
+  struct RelaySlot {
+    SeqNo tag = 0;  // 0 = no read observed yet (live tags start at 1)
+    std::uint32_t relays = 0;
+    bool acked = false;
+    SeqNo best_seq = 0;
+    Value best_val;
+    std::vector<std::uint8_t> seen;  // indexed by relaying process
+  };
+
+  struct PendingWrite {
+    bool active = false;
+    std::uint32_t acks = 0;
+    WriteDone done;
+  };
+
+  struct PendingRead {
+    bool active = false;
+    bool write_back = false;
+    SeqNo tag = 0;
+    std::uint32_t acks = 0;
+    std::uint32_t wb_acks = 0;
+    bool have_first = false;
+    bool all_same = true;
+    SeqNo first_seq = 0;
+    SeqNo best_seq = 0;
+    Value best_val;
+    ReadDone done;
+  };
+
+  void adopt(SeqNo seq, const Value& v);
+  void broadcast(NetworkContext& net, Message& msg);
+  /// Fold one relayed state into (reader, tag)'s slot; on first sight of
+  /// the tag, reset the slot and relay our own state.
+  void observe_relay(NetworkContext& net, ProcessId reader, SeqNo tag,
+                     ProcessId from, SeqNo seq, const Value& v);
+  void maybe_ack(NetworkContext& net, ProcessId reader);
+  /// Reader side: fold one READ_ACK (from a peer or from ourselves).
+  void fold_read_ack(NetworkContext& net, SeqNo tag, SeqNo seq,
+                     const Value& v);
+  void start_write_back(NetworkContext& net);
+  void finish_write(NetworkContext& net);
+  void finish_read(NetworkContext& net);
+
+  // Replica state: the freshest (timestamp, value) pair seen.
+  SeqNo ts_ = 0;
+  Value val_;
+
+  std::vector<RelaySlot> slots_;  // one per potential reader
+
+  // Initiator state.
+  SeqNo wsn_ = 0;       // writer's local write counter
+  SeqNo read_tag_ = 0;  // this process's read counter
+  PendingWrite pw_;
+  PendingRead pr_;
+
+  std::uint64_t fast_reads_ = 0;
+  std::uint64_t fallback_reads_ = 0;
+  bool crashed_ = false;
+
+  // Recycled outbound frames (broadcasts vs. point replies compose, so two
+  // scratches keep every send fully built before the next one starts).
+  Message out_;
+  Message relay_out_;
+  // Completion scratch: the result value swaps here before the callback
+  // runs, so a re-entrant next operation can freely reuse pr_.best_val.
+  Value result_val_;
+};
+
+std::unique_ptr<RegisterProcessBase> make_ohram_process(GroupConfig cfg,
+                                                        ProcessId self);
+
+}  // namespace tbr

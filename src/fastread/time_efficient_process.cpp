@@ -1,0 +1,181 @@
+#include "fastread/time_efficient_process.hpp"
+
+#include <utility>
+
+namespace tbr {
+
+TimeEfficientProcess::TimeEfficientProcess(GroupConfig cfg, ProcessId self)
+    : RegisterProcessBase(std::move(cfg), self), val_(cfg_.initial) {
+  know_.resize(cfg_.n, 0);  // sn 0, the initial value, is stored by all
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+void TimeEfficientProcess::adopt(NetworkContext& net, SeqNo seq,
+                                 const Value& v) {
+  if (seq <= sn_) return;
+  sn_ = seq;
+  val_ = v;
+  know_[self_] = sn_;
+  if (sn_ > last_echoed_) {
+    // The echo-once step: make the adopted sn public. Skipped sns need no
+    // echo of their own — an echo of a higher sn carries strictly more
+    // knowledge.
+    last_echoed_ = sn_;
+    echo_out_.type = static_cast<std::uint8_t>(TimeEffType::kEcho);
+    echo_out_.aux = 0;
+    echo_out_.seq = sn_;
+    echo_out_.has_value = true;
+    echo_out_.value = val_;
+    echo_out_.debug_index = sn_;
+    echo_out_.wire = codec().account(echo_out_);
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (j != self_) net.send(j, echo_out_);
+    }
+  }
+}
+
+std::uint32_t TimeEfficientProcess::count_know(SeqNo at_least) const {
+  std::uint32_t count = 0;
+  for (const SeqNo k : know_) {
+    if (k >= at_least) ++count;
+  }
+  return count;
+}
+
+void TimeEfficientProcess::check_pending(NetworkContext& net) {
+  if (pw_.active && count_know(pw_.wsn) >= cfg_.quorum()) {
+    finish_write(net);
+    return;  // the completion callback may have replaced the pending state
+  }
+  if (pr_.active && pr_.committing && count_know(pr_.msn) >= cfg_.quorum()) {
+    finish_read(net);
+  }
+}
+
+// ---- write ------------------------------------------------------------------
+
+void TimeEfficientProcess::start_write(NetworkContext& net, Value v,
+                                       WriteDone done) {
+  TBR_ENSURE(is_writer(), "only the writer p_w may invoke write()");
+  TBR_ENSURE(done != nullptr, "write needs a completion callback");
+  begin_operation("write");
+
+  pw_.active = true;
+  pw_.wsn = sn_ + 1;  // SWMR: only our own writes advance sn at the writer
+  pw_.done = std::move(done);
+
+  adopt(net, pw_.wsn, v);  // our echo of the fresh sn IS the write frame
+  check_pending(net);      // n-t may be 1
+}
+
+void TimeEfficientProcess::finish_write(NetworkContext&) {
+  WriteDone done = std::move(pw_.done);
+  pw_.active = false;
+  end_operation();
+  done();
+}
+
+// ---- read -------------------------------------------------------------------
+
+void TimeEfficientProcess::start_read(NetworkContext& net, ReadDone done) {
+  TBR_ENSURE(done != nullptr, "read needs a completion callback");
+  begin_operation("read");
+
+  const SeqNo tag = ++read_tag_;
+  pr_.active = true;
+  pr_.committing = false;
+  pr_.tag = tag;
+  pr_.replies = 1;  // our own state joins the query fold
+  pr_.msn = sn_;
+  pr_.mval = val_;
+  pr_.done = std::move(done);
+
+  out_.type = static_cast<std::uint8_t>(TimeEffType::kRead);
+  out_.aux = tag;
+  out_.seq = 0;
+  out_.has_value = false;
+  out_.debug_index = -1;
+  out_.wire = codec().account(out_);
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    if (j != self_) net.send(j, out_);
+  }
+
+  if (pr_.replies >= cfg_.quorum()) {
+    pr_.committing = true;
+    check_pending(net);
+  }
+}
+
+void TimeEfficientProcess::finish_read(NetworkContext&) {
+  ReadDone done = std::move(pr_.done);
+  const SeqNo index = pr_.msn;
+  // Return the pinned pair, not the live (sn_, val_): the live state may
+  // have adopted a newer, not-yet-committed write meanwhile. Swap keeps
+  // pr_.mval reusable for a re-entrant next operation.
+  result_val_.mutable_bytes().swap(pr_.mval.mutable_bytes());
+  pr_.active = false;
+  end_operation();
+  done(result_val_, index);
+}
+
+// ---- message handling -------------------------------------------------------
+
+void TimeEfficientProcess::on_message(NetworkContext& net, ProcessId from,
+                                      const Message& msg) {
+  TBR_ENSURE(!crashed_, "runtime delivered a message to a crashed process");
+  TBR_ENSURE(from < cfg_.n && from != self_, "bad sender");
+  switch (static_cast<TimeEffType>(msg.type)) {
+    case TimeEffType::kEcho: {
+      if (msg.seq > know_[from]) know_[from] = msg.seq;
+      adopt(net, msg.seq, msg.value);
+      check_pending(net);
+      break;
+    }
+    case TimeEffType::kRead: {
+      out_.type = static_cast<std::uint8_t>(TimeEffType::kState);
+      out_.aux = msg.aux;
+      out_.seq = sn_;
+      out_.has_value = true;
+      out_.value = val_;
+      out_.debug_index = sn_;
+      out_.wire = codec().account(out_);
+      net.send(from, out_);
+      break;
+    }
+    case TimeEffType::kState: {
+      // A state reply is knowledge too: the sender stores msg.seq.
+      if (msg.seq > know_[from]) know_[from] = msg.seq;
+      adopt(net, msg.seq, msg.value);
+      if (pr_.active && !pr_.committing && msg.aux == pr_.tag) {
+        if (msg.seq > pr_.msn) {
+          pr_.msn = msg.seq;
+          pr_.mval = msg.value;
+        }
+        pr_.replies += 1;
+        if (pr_.replies >= cfg_.quorum()) pr_.committing = true;
+      }
+      check_pending(net);
+      break;
+    }
+    default:
+      TBR_ENSURE(false, "unknown timeeff frame type");
+  }
+}
+
+void TimeEfficientProcess::on_crash() { crashed_ = true; }
+
+std::uint64_t TimeEfficientProcess::local_memory_bytes() const {
+  // Replica pair + the knowledge vector (n sequence numbers) + counters.
+  return 8 /*sn*/ + val_.size() + 8 /*last_echoed*/ + 8 * know_.size() +
+         8 /*read_tag*/ + pr_.mval.size();
+}
+
+// ---- factory ----------------------------------------------------------------
+
+std::unique_ptr<RegisterProcessBase> make_time_efficient_process(
+    GroupConfig cfg, ProcessId self) {
+  return std::make_unique<TimeEfficientProcess>(std::move(cfg), self);
+}
+
+}  // namespace tbr

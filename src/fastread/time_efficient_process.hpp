@@ -1,0 +1,113 @@
+// TimeEfficientProcess: the Mostéfaoui–Raynal time-efficient SWMR register
+// (arXiv:1601.04820): sequential reads terminate in a single round trip
+// (2Δ) because committed writes are made *public* by an adopt-echo
+// reliable-broadcast step instead of a per-read write-back.
+//
+// State per process: the freshest (sn, value) pair, a knowledge vector
+// know[j] = highest sn process j is known to store (know[self] tracks our
+// own sn), and last_echoed, the highest sn we have already echoed.
+//
+// Echo rule: whenever a process adopts a NEW sn — from the writer's frame
+// or from a peer's echo — it broadcasts ECHO(sn, v) exactly once for that
+// sn. A write IS the writer's echo of a fresh sn: there is no separate
+// write frame. Receiving ECHO(sn, v) from j raises know[j] and adopts.
+//
+// Write (2Δ): the writer adopts (sn+1, v), echoes it, and completes once
+// |{j : know[j] ≥ sn+1}| ≥ n-t — the echoes coming straight back.
+//
+// Read (2Δ sequential): broadcast READ(tag); every process replies
+// STATE(tag, sn, v). The reader folds n-t replies (its own state
+// included), pins the max pair (msn, v_msn), adopts it (echoing if new),
+// and then *commits*: it parks until |{j : know[j] ≥ msn}| ≥ n-t and
+// returns the pinned pair — not its live state, which may meanwhile hold
+// a newer, uncommitted sn. After a completed write, every correct
+// process's echo of that sn has already arrived everywhere, so the commit
+// wait is already satisfied when the replies land: one round trip.
+//
+// Atomicity: an operation returns only once n-t processes are known to
+// store ≥ its sn; any later read's n-t replies intersect that set
+// (n-2t ≥ 1), so reads never go backwards. Liveness under ≤ t crashes
+// (writer included): the reader itself has echoed ≥ msn, every correct
+// process therefore eventually adopts and echoes ≥ msn, and the commit
+// wait unblocks.
+//
+// Steady state is allocation-free: the knowledge vector is sized at
+// construction and every outbound frame is a recycled member.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fastread/fastread_codec.hpp"
+#include "net/register_process.hpp"
+
+namespace tbr {
+
+class TimeEfficientProcess final : public RegisterProcessBase {
+ public:
+  TimeEfficientProcess(GroupConfig cfg, ProcessId self);
+
+  // ---- RegisterProcessBase -----------------------------------------------
+  void start_write(NetworkContext& net, Value v, WriteDone done) override;
+  void start_read(NetworkContext& net, ReadDone done) override;
+  void on_message(NetworkContext& net, ProcessId from,
+                  const Message& msg) override;
+  void on_crash() override;
+  std::uint64_t local_memory_bytes() const override;
+  const Codec& codec() const override { return time_efficient_codec(); }
+
+  // ---- introspection -----------------------------------------------------
+  SeqNo replica_seq() const noexcept { return sn_; }
+  const Value& replica_value() const noexcept { return val_; }
+  SeqNo known_by(ProcessId j) const { return know_.at(j); }
+  bool crashed() const noexcept { return crashed_; }
+
+ private:
+  struct PendingWrite {
+    bool active = false;
+    SeqNo wsn = 0;
+    WriteDone done;
+  };
+
+  struct PendingRead {
+    bool active = false;
+    bool committing = false;  // query replies folded; waiting on know[]
+    SeqNo tag = 0;
+    std::uint32_t replies = 0;
+    SeqNo msn = 0;  // the pinned maximum of the query set
+    Value mval;
+    ReadDone done;
+  };
+
+  /// Adopt (seq, v) if newer, echoing the adopted sn once. Callers follow
+  /// up with check_pending(): adoption and know[] changes both unpark.
+  void adopt(NetworkContext& net, SeqNo seq, const Value& v);
+  std::uint32_t count_know(SeqNo at_least) const;
+  void check_pending(NetworkContext& net);
+  void finish_write(NetworkContext& net);
+  void finish_read(NetworkContext& net);
+
+  // Replica state.
+  SeqNo sn_ = 0;
+  Value val_;
+  SeqNo last_echoed_ = 0;   // sn 0 (the initial value) needs no echo
+  std::vector<SeqNo> know_;  // know_[j]: highest sn j is known to store
+
+  // Initiator state.
+  SeqNo read_tag_ = 0;
+  PendingWrite pw_;
+  PendingRead pr_;
+  bool crashed_ = false;
+
+  // Recycled outbound frames: echoes fire from inside adopt() while a
+  // reply may be half-composed, so they get their own scratch.
+  Message out_;
+  Message echo_out_;
+  // Completion scratch (see OhRamProcess::finish_read).
+  Value result_val_;
+};
+
+std::unique_ptr<RegisterProcessBase> make_time_efficient_process(
+    GroupConfig cfg, ProcessId self);
+
+}  // namespace tbr

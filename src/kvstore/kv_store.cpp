@@ -173,11 +173,21 @@ KvStore::KvStore(Options options)
     return cfg;
   };
 
+  // An explicit factory wins; otherwise the engine knob picks the per-slot
+  // register protocol (two-bit default, or a fast-path read engine).
+  MuxProcess::SlotFactory factory = std::move(options.register_factory);
+  if (!factory) {
+    const Algorithm engine = options.engine;
+    factory = [engine](const GroupConfig& cfg, ProcessId pid) {
+      return make_register_process(engine, cfg, pid);
+    };
+  }
+
   std::vector<std::unique_ptr<ProcessBase>> processes;
   processes.reserve(n_);
   for (ProcessId pid = 0; pid < n_; ++pid) {
-    processes.push_back(std::make_unique<MuxProcess>(
-        slots_, slot_cfg, pid, options.register_factory));
+    processes.push_back(
+        std::make_unique<MuxProcess>(slots_, slot_cfg, pid, factory));
   }
   SimNetwork::Options net_opt;
   net_opt.seed = options.seed;

@@ -144,6 +144,15 @@ ShardedKvStore::ShardedKvStore(Options options)
     return cfg;
   };
 
+  // An explicit factory wins; otherwise the engine knob picks the per-slot
+  // register protocol (two-bit default, or a fast-path read engine).
+  if (!opt_.register_factory) {
+    const Algorithm engine = opt_.engine;
+    opt_.register_factory = [engine](const GroupConfig& cfg, ProcessId pid) {
+      return make_register_process(engine, cfg, pid);
+    };
+  }
+
   shards_.reserve(opt_.shards);
   for (std::uint32_t s = 0; s < opt_.shards; ++s) {
     auto shard = std::make_unique<Shard>();

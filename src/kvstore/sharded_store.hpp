@@ -43,6 +43,7 @@
 #include "metrics/message_stats.hpp"
 #include "runtime/mailbox.hpp"
 #include "sim/sim_network.hpp"
+#include "workload/algorithms.hpp"
 
 namespace tbr {
 
@@ -82,7 +83,10 @@ class ShardedKvStore {
     /// Event-scheduler backend for every shard's simulator
     /// (SimNetwork::Options::scheduler_policy).
     EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
-    MuxProcess::SlotFactory register_factory;  ///< default: two-bit
+    /// Per-slot register engine when `register_factory` is unset
+    /// (two-bit default, or a fast-path read engine for 3Δ/2Δ gets).
+    Algorithm engine = Algorithm::kTwoBit;
+    MuxProcess::SlotFactory register_factory;  ///< overrides `engine`
   };
 
   /// Replica selector for gets: rotate over the shard's live-looking nodes.

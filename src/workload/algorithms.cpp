@@ -3,6 +3,8 @@
 #include "abd/phased_process.hpp"
 #include "common/contracts.hpp"
 #include "core/twobit_process.hpp"
+#include "fastread/ohram_process.hpp"
+#include "fastread/time_efficient_process.hpp"
 
 namespace tbr {
 
@@ -16,6 +18,14 @@ const std::vector<Algorithm>& all_algorithms() {
   return all;
 }
 
+const std::vector<Algorithm>& fastread_algorithms() {
+  static const std::vector<Algorithm> fast = {
+      Algorithm::kOhRam,
+      Algorithm::kTimeEfficient,
+  };
+  return fast;
+}
+
 std::string algorithm_name(Algorithm algo) {
   switch (algo) {
     case Algorithm::kTwoBit:
@@ -26,6 +36,10 @@ std::string algorithm_name(Algorithm algo) {
       return "abd-bounded";
     case Algorithm::kAttiya:
       return "attiya";
+    case Algorithm::kOhRam:
+      return "ohram";
+    case Algorithm::kTimeEfficient:
+      return "timeeff";
   }
   TBR_ENSURE(false, "unknown algorithm");
   return {};
@@ -43,6 +57,10 @@ std::unique_ptr<RegisterProcessBase> make_register_process(Algorithm algo,
       return make_abd_bounded_process(std::move(cfg), self);
     case Algorithm::kAttiya:
       return make_attiya_process(std::move(cfg), self);
+    case Algorithm::kOhRam:
+      return make_ohram_process(std::move(cfg), self);
+    case Algorithm::kTimeEfficient:
+      return make_time_efficient_process(std::move(cfg), self);
   }
   TBR_ENSURE(false, "unknown algorithm");
   return {};

@@ -10,14 +10,22 @@
 namespace tbr {
 
 enum class Algorithm {
-  kTwoBit,        ///< this paper: four message types, 2 control bits
-  kAbdUnbounded,  ///< ABD'95, unbounded sequence numbers
-  kAbdBounded,    ///< ABD'95 bounded variant (structural emulation)
-  kAttiya,        ///< Attiya'00 bounded labels (structural emulation)
+  kTwoBit,         ///< this paper: four message types, 2 control bits
+  kAbdUnbounded,   ///< ABD'95, unbounded sequence numbers
+  kAbdBounded,     ///< ABD'95 bounded variant (structural emulation)
+  kAttiya,         ///< Attiya'00 bounded labels (structural emulation)
+  kOhRam,          ///< Oh-RAM! one-and-a-half-round read (src/fastread)
+  kTimeEfficient,  ///< Mostéfaoui–Raynal time-efficient register
 };
 
-/// All four, in Table 1 column order.
+/// The four Table 1 algorithms, in Table 1 column order. The fast-path
+/// read engines are deliberately NOT in this list: Table 1 sweeps and
+/// golden digests iterate it, and their membership is part of the paper's
+/// comparison, not ours.
 const std::vector<Algorithm>& all_algorithms();
+
+/// The two fast-path read engines (src/fastread/), in docs order.
+const std::vector<Algorithm>& fastread_algorithms();
 
 std::string algorithm_name(Algorithm algo);
 

@@ -90,6 +90,7 @@ ShardedWorkloadResult run_sharded_workload(
   store_opt.t = options.t;
   store_opt.slots_per_shard = options.slots_per_shard;
   store_opt.seed = options.seed;
+  store_opt.engine = options.engine;
   store_opt.scheduler_policy = options.scheduler_policy;
   store_opt.coalesce_writes = options.coalesce_writes;
   store_opt.max_batch = options.max_batch;
@@ -213,9 +214,13 @@ CapacityProjection project_sharded_capacity(
 
     std::vector<std::unique_ptr<ProcessBase>> processes;
     processes.reserve(n);
+    const Algorithm engine = options.engine;
+    auto factory = [engine](const GroupConfig& cfg, ProcessId pid) {
+      return make_register_process(engine, cfg, pid);
+    };
     for (ProcessId pid = 0; pid < n; ++pid) {
       processes.push_back(std::make_unique<MuxProcess>(
-          options.slots_per_shard, slot_cfg, pid));
+          options.slots_per_shard, slot_cfg, pid, factory));
     }
     SimNetwork::Options net_opt;
     net_opt.seed = options.seed ^ (0xCAFEULL * (s + 1));

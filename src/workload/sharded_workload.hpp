@@ -48,6 +48,9 @@ struct ShardedWorkloadOptions {
   bool pin_shard_threads = false;
 
   // ---- shared engine/projection knobs ---------------------------------------
+  /// Per-slot register engine (two-bit default, or a fast-path read
+  /// engine: Algorithm::kOhRam / kTimeEfficient).
+  Algorithm engine = Algorithm::kTwoBit;
   /// Event-scheduler backend for every shard's simulator
   /// (SimNetwork::Options::scheduler_policy).
   EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;

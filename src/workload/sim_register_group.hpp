@@ -38,6 +38,10 @@ class SimRegisterGroup {
     /// Event-scheduler backend (SimNetwork::Options::scheduler_policy).
     EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
 
+    /// Per-node frame service time (SimNetwork::Options::service_time);
+    /// 0 = the pure channel-delay model.
+    Tick service_time = 0;
+
     /// Maintain the in-flight frame registry (SimNetwork::Options::
     /// track_in_flight); required by the P1 channel-invariant observer.
     bool track_in_flight = false;

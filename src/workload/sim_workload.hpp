@@ -54,6 +54,9 @@ struct SimWorkloadOptions {
 
   /// Event-scheduler backend (SimNetwork::Options::scheduler_policy).
   EventQueue::Policy scheduler_policy = EventQueue::Policy::kHeap;
+
+  /// Per-node frame service time (SimNetwork capacity model); 0 = off.
+  Tick service_time = 0;
 };
 
 struct SimWorkloadResult {

@@ -280,6 +280,43 @@ TEST(AllocRegression, SimTicketClosedLoopIsAllocFree) {
       << "a sim ticket round-trip must not touch the heap";
 }
 
+TEST(AllocRegression, FastReadTicketClosedLoopsAreAllocFree) {
+  // The fast-path read engines (src/fastread/) own the same contract, with
+  // no history-chunk caveat: both keep O(1) register state (one timestamp +
+  // one value; the time-efficient engine adds a fixed know_[n] vector), so
+  // once the relay slots / echo scratches and the reused Value capacities
+  // are warm, EVERY window is exactly zero — including Oh-RAM windows that
+  // take the write-back fallback.
+  for (const auto algo : fastread_algorithms()) {
+    SimRegisterGroup::Options opt;
+    opt.cfg.n = 5;
+    opt.cfg.t = 2;
+    opt.cfg.writer = 0;
+    opt.cfg.initial = Value::from_int64(0);
+    opt.algo = algo;
+    SimRegisterGroup group(std::move(opt));
+    RegisterClient& client = group.client();
+
+    for (int k = 0; k < 16; ++k) {
+      ASSERT_TRUE(client.write_sync(Value::from_int64(k)).status.ok());
+      ASSERT_TRUE(client.read_sync(4).status.ok());
+    }
+    group.settle();
+
+    const alloc::Window w;
+    for (int k = 0; k < 8; ++k) {
+      const OpResult wr = client.write_sync(Value::from_int64(100 + k));
+      const OpResult rd = client.read_sync((k % 4) + 1);
+      EXPECT_TRUE(wr.status.ok());
+      EXPECT_TRUE(rd.status.ok());
+    }
+    group.settle();
+    EXPECT_EQ(w.allocations(), 0u)
+        << algorithm_name(algo)
+        << " ticket round-trips must not touch the heap";
+  }
+}
+
 TEST(AllocRegression, ThreadedTicketClosedLoopIsAllocFree) {
   ThreadNetwork::Options opt;
   opt.cfg.n = 3;

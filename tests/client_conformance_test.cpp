@@ -43,27 +43,29 @@ GroupConfig small_cfg(std::uint32_t n = 3, std::uint32_t t = 1) {
   return cfg;
 }
 
-SimRegisterGroup make_sim_group() {
+SimRegisterGroup make_sim_group(Algorithm algo = Algorithm::kTwoBit) {
   SimRegisterGroup::Options opt;
   opt.cfg = small_cfg();
-  opt.algo = Algorithm::kTwoBit;
+  opt.algo = algo;
   return SimRegisterGroup(std::move(opt));
 }
 
-std::unique_ptr<ThreadNetwork> make_thread_net() {
+std::unique_ptr<ThreadNetwork> make_thread_net(
+    Algorithm algo = Algorithm::kTwoBit) {
   ThreadNetwork::Options opt;
   opt.cfg = small_cfg();
-  opt.algo = Algorithm::kTwoBit;
+  opt.algo = algo;
   opt.max_delay_us = 0;
   auto net = std::make_unique<ThreadNetwork>(opt);
   net->start();
   return net;
 }
 
-std::unique_ptr<SocketNetwork> make_socket_net() {
+std::unique_ptr<SocketNetwork> make_socket_net(
+    Algorithm algo = Algorithm::kTwoBit) {
   SocketNetwork::Options opt;
   opt.cfg = small_cfg();
-  opt.algo = Algorithm::kTwoBit;
+  opt.algo = algo;
   auto net = std::make_unique<SocketNetwork>(std::move(opt));
   net->start();
   return net;
@@ -130,6 +132,124 @@ TEST(ClientConformance, RegisterScriptMatchesAcrossAllRegisterEngines) {
       StatusCode::kOk,      StatusCode::kOk,      StatusCode::kOk,
       StatusCode::kCrashed, StatusCode::kOk,      StatusCode::kCrashed};
   EXPECT_EQ(sim.codes, expected);
+}
+
+TEST(ClientConformance, FastReadEnginesMatchRegisterScriptVerbatim) {
+  // The SAME crash script, byte for byte, against both fast-path read
+  // engines (src/fastread/) on all three register runtimes: new protocol,
+  // same Status surface.
+  const std::vector<StatusCode> expected{
+      StatusCode::kOk,      StatusCode::kOk,      StatusCode::kOk,
+      StatusCode::kCrashed, StatusCode::kOk,      StatusCode::kCrashed};
+  for (const auto algo : fastread_algorithms()) {
+    SCOPED_TRACE(algorithm_name(algo));
+
+    auto group = make_sim_group(algo);
+    const auto sim = run_register_script(
+        group.client(), [&group](ProcessId pid) { group.crash(pid); });
+    EXPECT_EQ(sim.codes, expected);
+    EXPECT_EQ(sim.last_read_value, "b");
+    EXPECT_EQ(sim.last_read_version, 2);
+
+    auto net = make_thread_net(algo);
+    const auto threaded = run_register_script(
+        net->client(), [&net](ProcessId pid) { net->crash(pid); });
+    EXPECT_EQ(threaded.codes, expected);
+    EXPECT_EQ(threaded.last_read_value, "b");
+    EXPECT_EQ(threaded.last_read_version, 2);
+
+    auto sock = make_socket_net(algo);
+    const auto socket = run_register_script(
+        sock->client(), [&sock](ProcessId pid) { sock->crash(pid); });
+    EXPECT_EQ(socket.codes, expected);
+    EXPECT_EQ(socket.last_read_value, "b");
+    EXPECT_EQ(socket.last_read_version, 2);
+  }
+}
+
+TEST(ClientConformance, FastReadEnginesCallbackShutdownAndLiveness) {
+  for (const auto algo : fastread_algorithms()) {
+    SCOPED_TRACE(algorithm_name(algo));
+    {
+      // Callback mode auto-recycles and reports kOk.
+      auto group = make_sim_group(algo);
+      int completions = 0;
+      StatusCode seen = StatusCode::kShutdown;
+      const Ticket t = group.client().write(Value::from_string("cb"),
+                                            [&](const OpResult& r) {
+                                              ++completions;
+                                              seen = r.status.code();
+                                            });
+      EXPECT_FALSE(t.valid()) << "callback mode returns an empty ticket";
+      group.settle();
+      EXPECT_EQ(completions, 1);
+      EXPECT_EQ(seen, StatusCode::kOk);
+    }
+    {
+      // Stopped engine → kShutdown, uniformly.
+      auto net = make_thread_net(algo);
+      (void)net->client().write_sync(Value::from_int64(1));
+      net->stop();
+      EXPECT_EQ(net->client().write_sync(Value::from_int64(2)).status.code(),
+                StatusCode::kShutdown);
+      EXPECT_EQ(net->client().read_sync(1).status.code(),
+                StatusCode::kShutdown);
+    }
+    {
+      // Over-budget crash set → kLivenessLost on the sim engine.
+      auto group = make_sim_group(algo);
+      group.crash(1);
+      group.crash(2);
+      EXPECT_EQ(group.client().write_sync(Value::from_int64(9)).status.code(),
+                StatusCode::kLivenessLost);
+    }
+    {
+      // try_result polls without blocking.
+      auto group = make_sim_group(algo);
+      const Ticket t = group.client().write(Value::from_int64(5));
+      OpResult out;
+      EXPECT_FALSE(group.client().try_result(t, out));
+      group.settle();
+      ASSERT_TRUE(group.client().try_result(t, out));
+      EXPECT_TRUE(out.status.ok());
+    }
+  }
+}
+
+TEST(ClientConformance, FastReadEnginesPipelineBatchesThroughChains) {
+  // The submit(span) pipeline script from RegisterBatchPipelinesThroughChains
+  // on the fast-path engines: monotone read versions, final version 3.
+  auto run = [](RegisterClient& client) {
+    std::array<RegisterOp, 6> ops;
+    for (int k = 0; k < 3; ++k) {
+      ops[2 * k].kind = OpKind::kWrite;
+      ops[2 * k].value = Value::from_int64(k + 1);
+      ops[2 * k + 1].kind = OpKind::kRead;
+      ops[2 * k + 1].reader = 1;
+    }
+    std::array<Ticket, 6> tickets;
+    EXPECT_EQ(client.submit(ops, tickets.data()), 6u);
+    SeqNo last_version = -1;
+    for (int k = 0; k < 6; ++k) {
+      const OpResult r = client.wait(tickets[k]);
+      EXPECT_TRUE(r.status.ok()) << r.status.message();
+      if (k % 2 == 1) {
+        EXPECT_GE(r.version, last_version);
+        last_version = r.version;
+      }
+    }
+    const OpResult after = client.read_sync(2);
+    EXPECT_TRUE(after.status.ok());
+    EXPECT_EQ(after.version, 3) << "all three writes completed before this";
+    EXPECT_EQ(after.value.to_int64(), 3);
+  };
+  for (const auto algo : fastread_algorithms()) {
+    SCOPED_TRACE(algorithm_name(algo));
+    auto group = make_sim_group(algo);
+    run(group.client());
+    auto net = make_thread_net(algo);
+    run(net->client());
+  }
 }
 
 TEST(ClientConformance, RegisterBatchPipelinesThroughChains) {

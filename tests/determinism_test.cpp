@@ -169,6 +169,26 @@ TEST(DeterminismGolden, AbdWorkloadSeed3) {
   EXPECT_EQ(workload_digest(Algorithm::kAbdUnbounded, 3, 1), 13041571012308724545ULL);
 }
 
+// The fast-path read engines ride the same scheduler contract: pin one
+// crash-free and one crashy workload per engine so a change to their
+// message flow (relay fan-out, echo suppression) shows up as a digest
+// diff, not as a silent reordering.
+TEST(DeterminismGolden, OhRamWorkloadSeed5) {
+  EXPECT_EQ(workload_digest(Algorithm::kOhRam, 5, 0), 2381760943655314305ULL);
+}
+
+TEST(DeterminismGolden, OhRamWorkloadSeed13Crashy) {
+  EXPECT_EQ(workload_digest(Algorithm::kOhRam, 13, 2), 862416080980553890ULL);
+}
+
+TEST(DeterminismGolden, TimeEfficientWorkloadSeed5) {
+  EXPECT_EQ(workload_digest(Algorithm::kTimeEfficient, 5, 0), 15779028740564427076ULL);
+}
+
+TEST(DeterminismGolden, TimeEfficientWorkloadSeed13Crashy) {
+  EXPECT_EQ(workload_digest(Algorithm::kTimeEfficient, 13, 2), 9057313251012063291ULL);
+}
+
 // The calendar backend pops the exact (time, insertion-seq) order the heap
 // does, so the SAME pinned constants must hold on Policy::kCalendar — no
 // re-capture. A divergence here means the backends disagree on ordering.
@@ -181,6 +201,12 @@ TEST(DeterminismGolden, TwoBitWorkloadSeed9CrashyCalendar) {
   EXPECT_EQ(
       workload_digest(Algorithm::kTwoBit, 9, 2, EventQueue::Policy::kCalendar),
       16356525218755894778ULL);
+}
+
+TEST(DeterminismGolden, OhRamWorkloadSeed13CrashyCalendar) {
+  EXPECT_EQ(
+      workload_digest(Algorithm::kOhRam, 13, 2, EventQueue::Policy::kCalendar),
+      862416080980553890ULL);
 }
 #endif  // __GLIBCXX__
 
@@ -199,6 +225,16 @@ TEST(DeterminismGolden, RunTwiceBitIdentical) {
   EXPECT_EQ(scripted_trace_digest(1234), scripted_trace_digest(1234));
   EXPECT_EQ(workload_digest(Algorithm::kTwoBit, 77, 1),
             workload_digest(Algorithm::kTwoBit, 77, 1));
+}
+
+TEST(DeterminismGolden, FastReadRunTwiceAndPoliciesIdentical) {
+  for (const auto algo : fastread_algorithms()) {
+    EXPECT_EQ(workload_digest(algo, 77, 1), workload_digest(algo, 77, 1))
+        << algorithm_name(algo);
+    EXPECT_EQ(workload_digest(algo, 55, 1, EventQueue::Policy::kHeap),
+              workload_digest(algo, 55, 1, EventQueue::Policy::kCalendar))
+        << algorithm_name(algo);
+  }
 }
 
 }  // namespace

@@ -40,6 +40,31 @@ Algorithm parse_algorithm(const std::string& name) {
                           "' (twobit, abd-unbounded, abd-bounded, attiya)");
 }
 
+// The register engine knob: the two-bit default or a fast-path read
+// engine. Orthogonal to --algo, which picks among the Table-1 baselines.
+Algorithm parse_engine(const std::string& name) {
+  if (name == "twobit") return Algorithm::kTwoBit;
+  for (const auto algo : fastread_algorithms()) {
+    if (algorithm_name(algo) == name) return algo;
+  }
+  throw ContractViolation("unknown --engine '" + name +
+                          "' (twobit, ohram, timeeff)");
+}
+
+// run/trace accept both knobs; a non-default --engine takes over the
+// whole group (mixing a fast-read engine with a baseline --algo in one
+// run makes no sense, so that combination is rejected).
+Algorithm resolve_run_algorithm(FlagParser& flags) {
+  const Algorithm engine = parse_engine(flags.get_string("engine"));
+  const Algorithm algo = parse_algorithm(flags.get_string("algo"));
+  if (engine == Algorithm::kTwoBit) return algo;
+  if (algo != Algorithm::kTwoBit) {
+    throw ContractViolation(
+        "--engine and --algo both set: pick one register protocol");
+  }
+  return engine;
+}
+
 std::unique_ptr<DelayModel> parse_delay(const std::string& kind,
                                         const GroupConfig& cfg, Tick delta) {
   if (kind == "const") return make_constant_delay(delta);
@@ -69,7 +94,7 @@ int cmd_run(FlagParser& flags) {
                   : static_cast<std::uint32_t>(flags.get_int("t"));
   opt.cfg.writer = 0;
   opt.cfg.initial = Value::from_int64(0);
-  opt.algo = parse_algorithm(flags.get_string("algo"));
+  opt.algo = resolve_run_algorithm(flags);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   opt.ops_per_process = static_cast<std::uint32_t>(flags.get_int("ops"));
   opt.writer_read_fraction = flags.get_double("writer-read-fraction");
@@ -138,6 +163,7 @@ int cmd_kv(FlagParser& flags) {
   opt.coalesce_writes = flags.get_bool("coalesce-writes");
   opt.min_batch = static_cast<std::size_t>(flags.get_int("min-batch"));
   opt.pin_shard_threads = flags.get_bool("pin");
+  opt.engine = parse_engine(flags.get_string("engine"));
   opt.scheduler_policy = parse_scheduler(flags.get_string("scheduler"));
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
@@ -147,6 +173,7 @@ int cmd_kv(FlagParser& flags) {
   TextTable table({"metric", "value"});
   table.add_row({"shards x replicas", std::to_string(opt.shards) + " x " +
                                           std::to_string(opt.n)});
+  table.add_row({"register engine", algorithm_name(opt.engine)});
   table.add_row({"keys / slots per shard",
                  std::to_string(opt.keys) + " / " +
                      std::to_string(opt.slots_per_shard)});
@@ -180,7 +207,7 @@ int cmd_trace(FlagParser& flags) {
   cfg.t = (cfg.n - 1) / 2;
   cfg.writer = 0;
   cfg.initial = Value::from_int64(0);
-  const auto algo = parse_algorithm(flags.get_string("algo"));
+  const auto algo = resolve_run_algorithm(flags);
   const Tick delta = flags.get_int("delta");
 
   SimRegisterGroup::Options gopt;
@@ -326,6 +353,8 @@ int real_main(int argc, char** argv) {
                    "(subcommands: run, trace, ops)");
   flags.add_string("algo", "twobit",
                    "twobit | abd-unbounded | abd-bounded | attiya");
+  flags.add_string("engine", "twobit",
+                   "register engine: twobit | ohram | timeeff (run/trace/kv)");
   flags.add_int("n", 5, "number of processes");
   flags.add_int("t", -1, "crash budget (-1 = max, (n-1)/2)");
   flags.add_int("ops", 20, "operations per process (run) / total (kv)");
